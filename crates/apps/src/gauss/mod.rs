@@ -1,0 +1,160 @@
+//! Gaussian elimination with partial pivoting (Section 5.2).
+//!
+//! The program solves a dense linear system of `n` equations distributed
+//! blockwise by rows. Communication is entirely collective:
+//!
+//! * pivot selection — a *reduction* of (|candidate|, owner) pairs,
+//! * pivot announcement — a *broadcast* of the winning (owner, row),
+//! * pivot row distribution — a *bulk broadcast* from the owner,
+//! * back substitution — one value broadcast per variable.
+//!
+//! The message-passing version implements these with software trees over
+//! active messages (flat / binary / lop-sided, the paper's ablation); the
+//! shared-memory version uses MCS-style reductions and the
+//! write-barrier-read broadcast idiom, with the pivot row read in place
+//! from the owner's shared memory.
+//!
+//! Rows are never redistributed; a host-side mask tracks which rows have
+//! been consumed as pivots, exactly as in the paper.
+
+pub mod mp;
+pub mod sm;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::Validation;
+
+/// Workload and cost parameters for Gauss.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GaussParams {
+    /// Number of equations (the paper runs 512).
+    pub n: usize,
+    /// Number of processors (the paper runs 32).
+    pub procs: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Cycles per element in the pivot-search scan.
+    pub search_cost: u64,
+    /// Cycles per element in the elimination inner loop.
+    pub elim_cost: u64,
+    /// Cycles per element in back substitution.
+    pub backsub_cost: u64,
+    /// Cycles for the per-row factor computation (a divide).
+    pub factor_cost: u64,
+    /// Shared-memory version only: distribute pivot rows with the
+    /// application-specific push-broadcast protocol (the Section 5.3.4
+    /// suggestion) instead of letting every processor read them from the
+    /// owner.
+    pub sm_push_broadcast: bool,
+}
+
+impl Default for GaussParams {
+    fn default() -> Self {
+        GaussParams {
+            n: 512,
+            procs: 32,
+            seed: 0xa5a5_0001,
+            search_cost: 8,
+            elim_cost: 28,
+            backsub_cost: 16,
+            factor_cost: 40,
+            sm_push_broadcast: false,
+        }
+    }
+}
+
+impl GaussParams {
+    /// A scaled-down workload for unit tests.
+    pub fn small() -> Self {
+        GaussParams {
+            n: 48,
+            procs: 8,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates the dense system: row `r` of the coefficient matrix followed
+/// by the right-hand side entry, as one `n + 1` element vector. The RHS is
+/// chosen so the exact solution is all ones.
+pub(crate) fn gen_row(p: &GaussParams, r: usize) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(p.seed ^ (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut row: Vec<f64> = (0..p.n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    // Mild diagonal strengthening keeps random systems well conditioned
+    // without changing the communication pattern.
+    row[r] += if row[r] >= 0.0 { 2.0 } else { -2.0 };
+    let b = row.iter().sum();
+    row.push(b);
+    row
+}
+
+/// Checks a computed solution against the known all-ones answer.
+pub(crate) fn validate_solution(x: &[f64]) -> Validation {
+    let err = x
+        .iter()
+        .map(|&v| (v - 1.0).abs())
+        .fold(0.0f64, f64::max);
+    Validation::from_error("max |x - 1|", err, 1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_rows_are_deterministic() {
+        let p = GaussParams::small();
+        assert_eq!(gen_row(&p, 3), gen_row(&p, 3));
+        assert_ne!(gen_row(&p, 3), gen_row(&p, 4));
+    }
+
+    #[test]
+    fn rhs_makes_ones_the_solution() {
+        let p = GaussParams::small();
+        let row = gen_row(&p, 0);
+        let sum: f64 = row[..p.n].iter().sum();
+        assert!((row[p.n] - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_elimination_solves_the_system() {
+        // Host-side reference: the workload itself must be solvable.
+        let p = GaussParams {
+            n: 24,
+            ..GaussParams::small()
+        };
+        let mut a: Vec<Vec<f64>> = (0..p.n).map(|r| gen_row(&p, r)).collect();
+        let n = p.n;
+        let mut used = vec![false; n];
+        let mut order = Vec::new();
+        for k in 0..n {
+            let (r, _) = (0..n)
+                .filter(|&r| !used[r])
+                .map(|r| (r, a[r][k].abs()))
+                .max_by(|x, y| x.1.total_cmp(&y.1))
+                .expect("pivot exists");
+            used[r] = true;
+            order.push(r);
+            for i in 0..n {
+                if !used[i] {
+                    let f = a[i][k] / a[r][k];
+                    for j in k..=n {
+                        let v = a[r][j];
+                        a[i][j] -= f * v;
+                    }
+                }
+            }
+        }
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let r = order[k];
+            let mut s = a[r][n];
+            for j in k + 1..n {
+                s -= a[r][j] * x[j];
+            }
+            x[k] = s / a[r][k];
+        }
+        assert!(validate_solution(&x).passed);
+    }
+}

@@ -1,0 +1,266 @@
+//! LCP: the linear complementarity problem by multi-sweep successive
+//! over-relaxation (Section 5.4).
+//!
+//! Find `z` with `Mz + q >= 0`, `z >= 0`, and `z'(Mz + q) = 0`, where `M`
+//! is a symmetric, diagonally dominant banded sparse matrix (uniform
+//! non-zeros per row, as in the paper) and `q` is dense. The solver is
+//! projected SOR (De Leone et al.): rows are statically block-distributed;
+//! each *step* runs a fixed number of Gauss–Seidel sweeps over the local
+//! rows against a local copy of the solution vector, then updates the
+//! global solution and tests convergence with a maximum-reduction.
+//!
+//! Two coordination disciplines, each in MP and SM flavors:
+//!
+//! * **synchronous** (`LCP-*`): the local copy is refreshed once per step
+//!   (all-to-all exchange in MP; write-barrier-read of the global vector
+//!   in SM);
+//! * **asynchronous** (`ALCP-*`): updates become visible after every
+//!   sweep (a star of bulk messages in MP; direct writes to the global
+//!   vector in SM). Fewer steps to converge, far more communication — the
+//!   paper's Tables 20–23 trade-off.
+
+pub mod mp;
+pub mod sm;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::Validation;
+
+/// Synchronization discipline of a run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum LcpMode {
+    /// The solution vector is exchanged once per step (LCP).
+    Synchronous,
+    /// Updates propagate after every sweep (ALCP).
+    Asynchronous,
+}
+
+/// Workload and cost parameters for LCP.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LcpParams {
+    /// Number of variables (the paper runs 4096).
+    pub n: usize,
+    /// Half the target off-diagonal count per row: rows aim for
+    /// `2 * band` off-diagonal non-zeros at *scattered* symmetric
+    /// positions (uniform non-zeros per row, as the paper notes).
+    pub band: usize,
+    /// Diagonal value (must exceed `2 * band` for diagonal dominance).
+    pub diag: f64,
+    /// SOR over-relaxation factor. Values much above 1.1 make the
+    /// *asynchronous* variant oscillate under message-delivery staleness,
+    /// matching De Leone's convergence conditions.
+    pub omega: f64,
+    /// Gauss–Seidel sweeps per step (the paper runs 5).
+    pub sweeps_per_step: usize,
+    /// Convergence threshold on the per-step max solution change.
+    pub tol: f64,
+    /// Safety cap on steps.
+    pub max_steps: usize,
+    /// Number of processors (a power of two; the paper runs 32).
+    pub procs: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Cycles per non-zero in the row-update kernel.
+    pub nnz_cost: u64,
+    /// Cycles of per-row overhead in the row-update kernel.
+    pub row_cost: u64,
+}
+
+impl Default for LcpParams {
+    fn default() -> Self {
+        LcpParams {
+            n: 4096,
+            band: 16,
+            diag: 34.0,
+            omega: 1.1,
+            sweeps_per_step: 5,
+            tol: 1e-7,
+            max_steps: 300,
+            procs: 32,
+            seed: 0x1c9_0001,
+            nnz_cost: 40,
+            row_cost: 20,
+        }
+    }
+}
+
+impl LcpParams {
+    /// A scaled-down workload for unit tests.
+    pub fn small() -> Self {
+        LcpParams {
+            n: 256,
+            band: 8,
+            diag: 18.0,
+            procs: 4,
+            ..Self::default()
+        }
+    }
+
+}
+
+/// The sparse symmetric matrix `M`: `diag` on the diagonal, -1.0 at the
+/// scattered symmetric off-diagonal positions in `off`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LcpMatrix {
+    /// Sorted off-diagonal column indices per row.
+    pub off: Vec<Vec<usize>>,
+    /// The (uniform) diagonal value.
+    pub diag: f64,
+}
+
+impl LcpMatrix {
+    /// Non-zeros in row `i` (off-diagonals plus the diagonal).
+    pub fn nnz(&self, i: usize) -> usize {
+        self.off[i].len() + 1
+    }
+}
+
+/// Generates the deterministic sparse symmetric matrix: each row targets
+/// `2 * band` off-diagonal entries of value -1 at scattered positions
+/// (so sweeps reference the whole solution vector, as the paper's
+/// communication volumes imply).
+pub fn gen_matrix(p: &LcpParams) -> LcpMatrix {
+    assert!(
+        p.diag > (2 * p.band) as f64,
+        "diagonal must dominate the row sum"
+    );
+    let mut rng = SmallRng::seed_from_u64(p.seed ^ 0x4d41_5452);
+    let target = 2 * p.band;
+    let mut off: Vec<Vec<usize>> = vec![Vec::new(); p.n];
+    for i in 0..p.n {
+        let mut attempts = 0;
+        while off[i].len() < target && attempts < 20 * target {
+            attempts += 1;
+            let j = rng.gen_range(0..p.n);
+            if j == i || off[j].len() >= target || off[i].contains(&j) {
+                continue;
+            }
+            off[i].push(j);
+            off[j].push(i);
+        }
+    }
+    for row in &mut off {
+        row.sort_unstable();
+    }
+    LcpMatrix { off, diag: p.diag }
+}
+
+/// Generates the dense `q` vector (deterministic).
+pub fn gen_q(p: &LcpParams) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    (0..p.n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// One projected-SOR update of row `i` against the current values in `z`.
+/// Returns the new `z[i]`.
+pub(crate) fn psor_row(mat: &LcpMatrix, omega: f64, q: &[f64], z: &[f64], i: usize) -> f64 {
+    let mut dot = mat.diag * z[i];
+    for &j in &mat.off[i] {
+        dot -= z[j];
+    }
+    let r = dot + q[i];
+    (z[i] - omega * r / mat.diag).max(0.0)
+}
+
+/// Checks the LCP optimality conditions for a computed solution.
+pub fn validate_lcp(mat: &LcpMatrix, q: &[f64], z: &[f64]) -> Validation {
+    let mut worst = 0.0f64;
+    for i in 0..q.len() {
+        let mut dot = mat.diag * z[i];
+        for &j in &mat.off[i] {
+            dot -= z[j];
+        }
+        let r = dot + q[i];
+        // z >= 0, Mz + q >= 0, complementary slackness.
+        worst = worst.max(-z[i]).max(-r).max((z[i] * r).abs());
+    }
+    Validation::from_error("max LCP condition violation", worst, 1e-3)
+}
+
+/// Host-side sequential synchronous reference; returns (z, steps).
+pub fn reference_sync(p: &LcpParams) -> (Vec<f64>, usize) {
+    let q = gen_q(p);
+    let mat = gen_matrix(p);
+    let nloc = p.n / p.procs;
+    let mut z = vec![0.0f64; p.n];
+    for step in 1..=p.max_steps {
+        let z_before = z.clone();
+        // Each processor sweeps against its stale local copy; emulate by
+        // sweeping each block against a snapshot of the others.
+        let snapshot = z.clone();
+        let mut z_next = z.clone();
+        for proc in 0..p.procs {
+            let mut local = snapshot.clone();
+            for _ in 0..p.sweeps_per_step {
+                for i in proc * nloc..(proc + 1) * nloc {
+                    local[i] = psor_row(&mat, p.omega, &q, &local, i);
+                }
+            }
+            z_next[proc * nloc..(proc + 1) * nloc]
+                .copy_from_slice(&local[proc * nloc..(proc + 1) * nloc]);
+        }
+        z = z_next;
+        let diff = z
+            .iter()
+            .zip(&z_before)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        if diff < p.tol {
+            return (z, step);
+        }
+    }
+    (z, p.max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_symmetric_and_diag_dominant() {
+        let p = LcpParams::small();
+        let m = gen_matrix(&p);
+        for i in 0..p.n {
+            assert!(p.diag > m.off[i].len() as f64, "row {i} not dominant");
+            for &j in &m.off[i] {
+                assert!(m.off[j].contains(&i), "asymmetric entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn nnz_is_roughly_uniform_and_scattered() {
+        let p = LcpParams::small();
+        let m = gen_matrix(&p);
+        let target = 2 * p.band;
+        let avg: f64 =
+            m.off.iter().map(|r| r.len() as f64).sum::<f64>() / p.n as f64;
+        assert!(avg > 0.8 * target as f64, "avg nnz {avg}");
+        // Scattered: some row references a column far outside any band.
+        assert!(m
+            .off
+            .iter()
+            .enumerate()
+            .any(|(i, r)| r.iter().any(|&j| i.abs_diff(j) > p.n / 4)));
+    }
+
+    #[test]
+    fn reference_converges_to_a_valid_solution() {
+        let p = LcpParams::small();
+        let (z, steps) = reference_sync(&p);
+        assert!(steps < p.max_steps, "did not converge");
+        let q = gen_q(&p);
+        let v = validate_lcp(&gen_matrix(&p), &q, &z);
+        assert!(v.passed, "{}", v.detail);
+        // A complementarity problem with mixed q has active constraints.
+        assert!(z.contains(&0.0), "some z pinned at zero");
+        assert!(z.iter().any(|&v| v > 0.0), "some z strictly positive");
+    }
+
+    #[test]
+    fn q_is_deterministic() {
+        let p = LcpParams::small();
+        assert_eq!(gen_q(&p), gen_q(&p));
+    }
+}

@@ -1,0 +1,252 @@
+//! LCP-SM and ALCP-SM: shared-memory projected SOR.
+//!
+//! The global solution vector lives in shared memory, distributed in
+//! per-owner chunks. Synchronous mode sweeps against a *private* local
+//! copy, then copies the owned portion into the global vector, crosses a
+//! barrier, and re-reads the whole vector — the request-response misses
+//! the paper measures in Table 19. Asynchronous mode (ALCP-SM) reads and
+//! writes the global vector directly during every sweep, so updates are
+//! visible as soon as they are computed — De Leone's faster-converging
+//! discipline whose invalidation traffic swamps the gain (Tables 21/23).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use wwt_mem::GAddr;
+use wwt_sim::Engine;
+use wwt_sm::{SmCollectives, SmConfig, SmMachine};
+
+use crate::common::{AppRun, PhaseRecorder, Validation};
+use crate::lcp::{gen_matrix, gen_q, psor_row, validate_lcp, LcpMode, LcpParams};
+
+/// Runs LCP-SM (synchronous) or ALCP-SM (asynchronous) and returns the
+/// measurements (Tables 19, 21, and 23).
+pub fn run(p: &LcpParams, scfg: SmConfig, mode: LcpMode) -> AppRun {
+    assert_eq!(p.n % p.procs, 0, "rows must divide evenly");
+    let mut engine = Engine::new(p.procs, scfg.sim);
+    let m = SmMachine::new(&engine, scfg);
+    let coll = Rc::new(SmCollectives::new(&m));
+    let rec = PhaseRecorder::new(Rc::clone(engine.sim()));
+    let q = Rc::new(gen_q(p));
+    let mat = Rc::new(gen_matrix(p));
+    let nloc = p.n / p.procs;
+
+    // The global solution vector, distributed chunk-wise over its owners.
+    let chunks: Rc<Vec<GAddr>> = Rc::new(
+        (0..p.procs)
+            .map(|qp| m.gmalloc_on(qp, (nloc * 8) as u64, 32))
+            .collect(),
+    );
+
+    let solution: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(vec![0.0; p.n]));
+    let steps_taken: Rc<Cell<usize>> = Rc::default();
+
+    for proc in engine.proc_ids() {
+        let m = Rc::clone(&m);
+        let coll = Rc::clone(&coll);
+        let cpu = engine.cpu(proc);
+        let rec = Rc::clone(&rec);
+        let q = Rc::clone(&q);
+        let mat = Rc::clone(&mat);
+        let chunks = Rc::clone(&chunks);
+        let solution = Rc::clone(&solution);
+        let steps_taken = Rc::clone(&steps_taken);
+        let p = p.clone();
+        engine.spawn(proc, async move {
+            let me = proc.index();
+            let my_lo = me * nloc;
+            let block_bytes = (nloc * 8) as u64;
+
+            // Private working storage: local copy (sync mode), matrix rows, q.
+            let z_loc = m.alloc_private(me, (p.n * 8) as u64, 32);
+            let nnz_total: usize = (my_lo..my_lo + nloc).map(|i| mat.nnz(i)).sum();
+            let m_rows = m.alloc_private(me, (nnz_total * 8) as u64, 32);
+            let q_buf = m.alloc_private(me, block_bytes, 32);
+
+            // Address of global element i.
+            let g_addr = |i: usize| chunks[i / nloc].offset_by(((i % nloc) * 8) as u64);
+
+            // --- initialization ------------------------------------------------
+            m.touch_write(&cpu, m_rows, (nnz_total * 8) as u64).await;
+            m.touch_write(&cpu, q_buf, block_bytes).await;
+            m.touch_write(&cpu, z_loc, (p.n * 8) as u64).await;
+            m.touch_write(&cpu, chunks[me], block_bytes).await;
+            cpu.compute(8 * nnz_total as u64);
+            m.barrier(&cpu).await;
+            if me == 0 {
+                rec.mark("init");
+            }
+
+            // --- solve ------------------------------------------------------------
+            let mut z = vec![0.0f64; p.n];
+            let mut steps = 0usize;
+            loop {
+                steps += 1;
+                let prev_block: Vec<f64> = z[my_lo..my_lo + nloc].to_vec();
+                for _ in 0..p.sweeps_per_step {
+                    let mut m_cursor = 0u64;
+                    for i in my_lo..my_lo + nloc {
+                        let nnz = mat.nnz(i) as u64;
+                        m.touch_read(&cpu, m_rows.offset_by(m_cursor * 8), nnz * 8)
+                            .await;
+                        m_cursor += nnz;
+                        match mode {
+                            LcpMode::Synchronous => {
+                                // Scattered reads of the private copy.
+                                for &j in &mat.off[i] {
+                                    m.touch_read(&cpu, z_loc.offset_by((j * 8) as u64), 8)
+                                        .await;
+                                }
+                            }
+                            LcpMode::Asynchronous => {
+                                // Scattered reads of the *global* vector —
+                                // the producer-consumer misses of Table 23.
+                                // A cached (possibly stale) copy keeps its
+                                // old value; a miss brings the whole cache
+                                // block current (4 elements).
+                                for &j in &mat.off[i] {
+                                    if m.touch_read(&cpu, g_addr(j), 8).await > 0 {
+                                        let rel = j % nloc;
+                                        let b0 = rel & !3;
+                                        let run = 4.min(nloc - b0);
+                                        let base = j - rel + b0;
+                                        let mut vals = vec![0.0f64; run];
+                                        m.peek_f64s(g_addr(base), &mut vals);
+                                        z[base..base + run].copy_from_slice(&vals);
+                                    }
+                                }
+                            }
+                        }
+                        m.touch_read(&cpu, q_buf.offset_by(((i - my_lo) * 8) as u64), 8)
+                            .await;
+                        z[i] = psor_row(&mat, p.omega, &q, &z, i);
+                        match mode {
+                            LcpMode::Synchronous => {
+                                m.touch_write(&cpu, z_loc.offset_by((i * 8) as u64), 8).await;
+                            }
+                            LcpMode::Asynchronous => {
+                                m.touch_write(&cpu, g_addr(i), 8).await;
+                                m.poke_f64(g_addr(i), z[i]);
+                            }
+                        }
+                        cpu.compute(p.row_cost + p.nnz_cost * nnz);
+                    }
+                    cpu.resync_if_ahead().await;
+                }
+                if mode == LcpMode::Synchronous {
+                    // Publish our block, then re-read the whole vector.
+                    m.poke_f64s(chunks[me], &z[my_lo..my_lo + nloc]);
+                    m.touch_write(&cpu, chunks[me], block_bytes).await;
+                    m.barrier(&cpu).await;
+                    for qp in 0..p.procs {
+                        m.touch_read(&cpu, chunks[qp], block_bytes).await;
+                        let mut vals = vec![0.0f64; nloc];
+                        m.peek_f64s(chunks[qp], &mut vals);
+                        z[qp * nloc..(qp + 1) * nloc].copy_from_slice(&vals);
+                    }
+                    m.touch_write(&cpu, z_loc, (p.n * 8) as u64).await;
+                }
+
+                let diff = z[my_lo..my_lo + nloc]
+                    .iter()
+                    .zip(&prev_block)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                cpu.compute(2 * nloc as u64);
+                let red = coll.reduce_max_f64_index(&m, &cpu, diff, me).await;
+                let done = match red {
+                    Some((global_diff, _)) => {
+                        f64::from(u8::from(global_diff < p.tol || steps >= p.max_steps))
+                    }
+                    None => 0.0,
+                };
+                let flag = coll.bcast_f64(&m, &cpu, 0, done).await;
+                if flag == 1.0 {
+                    break;
+                }
+            }
+            solution.borrow_mut()[my_lo..my_lo + nloc].copy_from_slice(&z[my_lo..my_lo + nloc]);
+            if me == 0 {
+                steps_taken.set(steps);
+                rec.mark("main");
+            }
+        });
+    }
+
+    let report = engine.run();
+    let z = solution.borrow().clone();
+    let qv = gen_q(p);
+    let validation = if steps_taken.get() < p.max_steps {
+        validate_lcp(&mat, &qv, &z)
+    } else {
+        Validation::fail(format!("no convergence within {} steps", p.max_steps))
+    };
+    AppRun {
+        report,
+        phases: rec.phases(),
+        validation,
+        stats: vec![("steps".into(), steps_taken.get() as f64)],
+        artifact: z,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcp::reference_sync;
+    use wwt_mp::MpConfig;
+    use wwt_sim::{Counter, Kind};
+
+    #[test]
+    fn synchronous_matches_host_reference_bitwise() {
+        let p = LcpParams::small();
+        let r = run(&p, SmConfig::default(), LcpMode::Synchronous);
+        assert!(r.validation.passed, "{}", r.validation.detail);
+        let (zref, steps_ref) = reference_sync(&p);
+        assert_eq!(r.stat("steps"), Some(steps_ref as f64));
+        assert_eq!(r.artifact, zref);
+    }
+
+    #[test]
+    fn sync_sm_and_mp_take_identical_trajectories() {
+        let p = LcpParams::small();
+        let sm = run(&p, SmConfig::default(), LcpMode::Synchronous);
+        let mp = crate::lcp::mp::run(&p, MpConfig::default(), LcpMode::Synchronous);
+        assert_eq!(sm.artifact, mp.artifact);
+        assert_eq!(sm.stat("steps"), mp.stat("steps"));
+    }
+
+    #[test]
+    fn asynchronous_converges_in_fewer_steps_with_more_misses() {
+        let p = LcpParams::small();
+        let s = run(&p, SmConfig::default(), LcpMode::Synchronous);
+        let a = run(&p, SmConfig::default(), LcpMode::Asynchronous);
+        assert!(a.validation.passed, "{}", a.validation.detail);
+        assert!(
+            a.stat("steps").unwrap() < s.stat("steps").unwrap(),
+            "async {} !< sync {}",
+            a.stat("steps").unwrap(),
+            s.stat("steps").unwrap()
+        );
+        let misses = |r: &AppRun| {
+            r.report.total_counter(Counter::ShMissesRemote)
+                + r.report.total_counter(Counter::ShMissesLocal)
+        };
+        assert!(
+            misses(&a) > misses(&s),
+            "async misses {} !> sync misses {}",
+            misses(&a),
+            misses(&s)
+        );
+    }
+
+    #[test]
+    fn sync_costs_split_into_misses_and_synchronization() {
+        let p = LcpParams::small();
+        let r = run(&p, SmConfig::default(), LcpMode::Synchronous);
+        let avg = r.report.avg_matrix();
+        assert!(avg.by_kind(Kind::ShMissRemote) > 0);
+        assert!(avg.by_kind(Kind::BarrierWait) > 0);
+        assert!(avg.by_scope(wwt_sim::Scope::Reduction) > 0);
+    }
+}

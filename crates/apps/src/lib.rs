@@ -1,0 +1,36 @@
+//! The four tuned application pairs from the ASPLOS 1994 study.
+//!
+//! Each application exists in a message-passing (`*-MP`) and a
+//! shared-memory (`*-SM`) version that use the *same algorithm* and the
+//! same deterministic workload, differing only in how they communicate —
+//! exactly the paper's experimental design:
+//!
+//! * [`mse`] — Microstructure Electrostatics: boundary-integral Laplace
+//!   solver, parallel asynchronous Jacobi with distance-based exchange
+//!   schedules (Section 5.1).
+//! * [`gauss`] — Gaussian elimination with partial pivoting; software
+//!   reductions and broadcasts dominate communication (Section 5.2).
+//! * [`em3d`] — electromagnetic wave propagation on a bipartite E/H graph;
+//!   ghost nodes + bulk channel messages vs. invalidation-based
+//!   producer-consumer sharing (Section 5.3).
+//! * [`lcp`] — linear complementarity via multi-sweep SOR, in synchronous
+//!   and asynchronous (ALCP) variants (Section 5.4).
+//!
+//! Every run returns an [`AppRun`] carrying the full simulator report,
+//! named phase snapshots (for the paper's init/main-loop splits) and a
+//! self-check that the computed answer is actually correct.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+// The kernels mirror the paper's C-style loops: an index walks several
+// parallel arrays (values, weights, masks) at once, which reads more
+// clearly than zipped iterator chains here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod common;
+pub mod em3d;
+pub mod gauss;
+pub mod lcp;
+pub mod mse;
+
+pub use common::{AppRun, Phase, PhaseRecorder, Validation};

@@ -1,0 +1,47 @@
+//! The Section 5.2 collective-implementation ablation: flat and binary
+//! trees over CMMD-level messages vs. the lop-sided tree over active
+//! messages (paper: 119.3M / 40.9M / 30.1M cycles in Gauss).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwt_core::apps::gauss::{mp, GaussParams};
+use wwt_core::mp::{MpConfig, TreeShape};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gauss-collective-ablation");
+    g.sample_size(10);
+    let p = GaussParams::small();
+    let cmmd = MpConfig {
+        collective_msg_overhead: 250,
+        ..MpConfig::default()
+    };
+    let variants: [(&str, MpConfig, TreeShape); 3] = [
+        ("flat-cmmd", cmmd, TreeShape::Flat),
+        ("binary-cmmd", cmmd, TreeShape::Binary),
+        ("lopsided-am", MpConfig::default(), TreeShape::Lopsided),
+    ];
+    // Print the simulated ordering once.
+    let mut elapsed = Vec::new();
+    for (name, cfg, shape) in &variants {
+        let r = mp::run(&p, *cfg, *shape);
+        assert!(r.validation.passed);
+        println!("{name}: simulated {} cycles", r.report.elapsed());
+        elapsed.push(r.report.elapsed());
+    }
+    assert!(
+        elapsed[0] > elapsed[1] && elapsed[1] > elapsed[2],
+        "ablation ordering must match the paper: {elapsed:?}"
+    );
+    for (name, cfg, shape) in variants {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = mp::run(black_box(&p), cfg, shape);
+                black_box(r.report.elapsed())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmarks regenerating the EM3D experiments (Tables 12–17 and the
+//! Section 5.3.4 bulk-update extension).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwt_core::{run_experiment, Experiment, Scale};
+
+fn bench_em3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("em3d");
+    g.sample_size(10);
+    for e in [
+        Experiment::Em3dMp,
+        Experiment::Em3dSm,
+        Experiment::Em3dSm1Mb,
+        Experiment::Em3dSmLocal,
+        Experiment::Em3dSmBulk,
+    ] {
+        let out = run_experiment(e, Scale::Test);
+        assert!(out.run.validation.passed, "{}", out.run.validation.detail);
+        // Print the main-loop table (the paper's per-phase presentation).
+        if let Some(t) = out.tables.iter().find(|t| t.title.contains("main loop")) {
+            println!("{t}");
+        }
+        g.bench_function(e.id(), |b| {
+            b.iter(|| {
+                let out = run_experiment(black_box(e), Scale::Test);
+                assert!(out.run.validation.passed);
+                black_box(out.run.report.elapsed())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_em3d);
+criterion_main!(benches);

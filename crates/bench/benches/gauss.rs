@@ -1,0 +1,27 @@
+//! Benchmarks regenerating the Gauss experiments (Tables 8–11).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwt_core::{run_experiment, Experiment, Scale};
+
+fn bench_gauss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gauss");
+    g.sample_size(10);
+    for e in [Experiment::GaussMp, Experiment::GaussSm] {
+        let out = run_experiment(e, Scale::Test);
+        assert!(out.run.validation.passed, "{}", out.run.validation.detail);
+        println!("{}", out.tables[0]);
+        println!("{}", out.events[0]);
+        g.bench_function(e.id(), |b| {
+            b.iter(|| {
+                let out = run_experiment(black_box(e), Scale::Test);
+                assert!(out.run.validation.passed);
+                black_box(out.run.report.elapsed())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gauss);
+criterion_main!(benches);

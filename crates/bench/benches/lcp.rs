@@ -1,0 +1,37 @@
+//! Benchmarks regenerating the LCP experiments (Tables 18–23), covering
+//! the synchronous and asynchronous (ALCP) variants on both machines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwt_core::{run_experiment, Experiment, Scale};
+
+fn bench_lcp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lcp");
+    g.sample_size(10);
+    for e in [
+        Experiment::LcpMp,
+        Experiment::LcpSm,
+        Experiment::AlcpMp,
+        Experiment::AlcpSm,
+    ] {
+        let out = run_experiment(e, Scale::Test);
+        assert!(out.run.validation.passed, "{}", out.run.validation.detail);
+        println!(
+            "{}: {} steps, {} simulated cycles",
+            e.id(),
+            out.run.stat("steps").unwrap_or(0.0),
+            out.run.report.elapsed()
+        );
+        g.bench_function(e.id(), |b| {
+            b.iter(|| {
+                let out = run_experiment(black_box(e), Scale::Test);
+                assert!(out.run.validation.passed);
+                black_box(out.run.report.elapsed())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lcp);
+criterion_main!(benches);

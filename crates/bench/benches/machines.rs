@@ -1,0 +1,125 @@
+//! Microbenchmarks of the machine substrates themselves: how fast the
+//! simulator executes the primitive operations whose costs the paper's
+//! Tables 2 and 3 define. These guard the host-side performance of the
+//! engine (events per second), not target-machine cycles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+
+use wwt_core::mp::{MpConfig, MpMachine, TreeShape};
+use wwt_core::sim::{Engine, ProcId, SimConfig};
+use wwt_core::sm::{McsLock, SmConfig, SmMachine};
+
+/// One round-trip active message per iteration pair, 10k messages.
+fn am_ping_pong(c: &mut Criterion) {
+    c.bench_function("mp/active-message-ping-pong-10k", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(2, SimConfig::default());
+            let m = MpMachine::new(&e, MpConfig::default());
+            m.set_handler(wwt_core::mp::tag::USER_BASE, |_| {});
+            for p in e.proc_ids() {
+                let m = Rc::clone(&m);
+                let cpu = e.cpu(p);
+                e.spawn(p, async move {
+                    let peer = ProcId::new(1 - p.index());
+                    for k in 0..5_000u32 {
+                        if p.index() == 0 {
+                            m.am_send(&cpu, peer, wwt_core::mp::tag::USER_BASE, 0, [k, 0, 0, 0])
+                                .await;
+                            m.poll_until(&cpu, |n| n >= (k + 1) as u64).await;
+                        } else {
+                            m.poll_until(&cpu, |n| n >= (k + 1) as u64).await;
+                            m.am_send(&cpu, peer, wwt_core::mp::tag::USER_BASE, 0, [k, 0, 0, 0])
+                                .await;
+                        }
+                    }
+                });
+            }
+            black_box(e.run().elapsed())
+        })
+    });
+}
+
+/// Coherence transactions: a producer-consumer pair bouncing one block.
+fn sm_block_bounce(c: &mut Criterion) {
+    c.bench_function("sm/producer-consumer-bounce-5k", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(2, SimConfig::default());
+            let m = SmMachine::new(&e, SmConfig::default());
+            let x = m.gmalloc_on(0, 8, 8);
+            let flag = m.gmalloc_on(1, 8, 8);
+            let m0 = Rc::clone(&m);
+            let c0 = e.cpu(ProcId::new(0));
+            e.spawn(ProcId::new(0), async move {
+                for k in 1..=5_000u64 {
+                    m0.write_f64(&c0, x, k as f64).await;
+                    m0.write_u64(&c0, flag, k).await;
+                }
+            });
+            let m1 = Rc::clone(&m);
+            let c1 = e.cpu(ProcId::new(1));
+            e.spawn(ProcId::new(1), async move {
+                for k in 1..=5_000u64 {
+                    m1.flag_wait(&c1, flag, k, wwt_core::sim::Kind::Wait).await;
+                    black_box(m1.read_f64(&c1, x).await);
+                }
+            });
+            black_box(e.run().elapsed())
+        })
+    });
+}
+
+/// Software collectives across 32 nodes.
+fn collectives_32(c: &mut Criterion) {
+    c.bench_function("mp/allreduce-32procs-100rounds", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(32, SimConfig::default());
+            let m = MpMachine::new(&e, MpConfig::default());
+            for p in e.proc_ids() {
+                let m = Rc::clone(&m);
+                let cpu = e.cpu(p);
+                e.spawn(p, async move {
+                    for r in 0..100 {
+                        let v = (p.index() + r) as f64;
+                        let s = m
+                            .reduce_sum_f64(&cpu, TreeShape::Lopsided, 0, v)
+                            .await
+                            .unwrap_or(0.0);
+                        black_box(m.bcast_f64(&cpu, TreeShape::Lopsided, 0, s).await);
+                    }
+                });
+            }
+            black_box(e.run().elapsed())
+        })
+    });
+}
+
+/// Contended MCS lock with 16 processors.
+fn mcs_contention(c: &mut Criterion) {
+    c.bench_function("sm/mcs-lock-16procs-50rounds", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(16, SimConfig::default());
+            let m = SmMachine::new(&e, SmConfig::default());
+            let lock = Rc::new(McsLock::new(&m));
+            let counter = m.gmalloc_on(0, 8, 8);
+            for p in e.proc_ids() {
+                let m = Rc::clone(&m);
+                let lock = Rc::clone(&lock);
+                let cpu = e.cpu(p);
+                e.spawn(p, async move {
+                    for _ in 0..50 {
+                        lock.acquire(&m, &cpu).await;
+                        let v = m.read_u64(&cpu, counter).await;
+                        m.write_u64(&cpu, counter, v + 1).await;
+                        lock.release(&m, &cpu).await;
+                    }
+                });
+            }
+            black_box(e.run().elapsed())
+        })
+    });
+}
+
+criterion_group!(benches, am_ping_pong, sm_block_bounce, collectives_32, mcs_contention);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Benchmarks regenerating the MSE experiments (Tables 4–7 of the paper).
+//!
+//! Criterion measures the host cost of simulating each program version;
+//! the simulated measurements themselves (the tables) are printed once per
+//! bench so a bench run doubles as a table regeneration at this scale.
+//! Run `make_tables mse` for the full paper-scale tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwt_core::{run_experiment, Experiment, Scale};
+
+fn bench_mse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mse");
+    g.sample_size(10);
+    for e in [Experiment::MseMp, Experiment::MseSm] {
+        // Print the simulated breakdown once (tables 4 / 5 shape).
+        let out = run_experiment(e, Scale::Test);
+        assert!(out.run.validation.passed, "{}", out.run.validation.detail);
+        println!("{}", out.tables[0]);
+        g.bench_function(e.id(), |b| {
+            b.iter(|| {
+                let out = run_experiment(black_box(e), Scale::Test);
+                assert!(out.run.validation.passed);
+                black_box(out.run.report.elapsed())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mse);
+criterion_main!(benches);

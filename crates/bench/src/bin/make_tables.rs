@@ -1,0 +1,59 @@
+//! Regenerates every table of the paper at paper scale.
+//!
+//! Usage:
+//!
+//! ```text
+//! make_tables [--test-scale] [--timeline] [experiment-id ...]
+//! ```
+//!
+//! With no experiment ids, every experiment runs (this takes a few
+//! minutes at paper scale). Ids are the values of `Experiment::id`, e.g.
+//! `mse-mp`, `gauss-ablation`, `em3d-sm-1mb`; the prefixes `mse`,
+//! `gauss`, `em3d`, `lcp` select the matching group. With `--timeline`,
+//! each selected experiment additionally prints a per-processor activity
+//! timeline (where in time the cycles went).
+
+use wwt_bench::{full_report, timeline_report};
+use wwt_core::{Experiment, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    let mut timeline = false;
+    let mut selected: Vec<Experiment> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--test-scale" => scale = Scale::Test,
+            "--timeline" => timeline = true,
+            "--help" | "-h" => {
+                eprintln!("usage: make_tables [--test-scale] [--timeline] [experiment-id ...]");
+                eprintln!("experiments:");
+                for e in Experiment::ALL {
+                    eprintln!("  {:<16} {}", e.id(), e.paper_tables());
+                }
+                return;
+            }
+            id => {
+                let matches: Vec<Experiment> = Experiment::ALL
+                    .into_iter()
+                    .filter(|e| e.id() == id || e.id().starts_with(&format!("{id}-")) || e.id().starts_with(id))
+                    .collect();
+                if matches.is_empty() {
+                    eprintln!("unknown experiment '{id}' (try --help)");
+                    std::process::exit(2);
+                }
+                selected.extend(matches);
+            }
+        }
+    }
+    if selected.is_empty() {
+        selected = Experiment::ALL.to_vec();
+    }
+    selected.dedup();
+    print!("{}", full_report(&selected, scale));
+    if timeline {
+        for &e in &selected {
+            print!("{}", timeline_report(e, scale));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Benchmark support for the WWT reproduction: shared helpers used by the
+//! Criterion benches and by the `make_tables` table-regeneration binary.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use wwt_core::{
+    headline_checks, paper_reference, render_timeline, run_experiment_with, Experiment,
+    ExperimentOutput, Scale,
+};
+
+/// Runs a set of experiments and renders the full report: measured tables,
+/// the paper's published values alongside, and the headline shape checks.
+pub fn full_report(experiments: &[Experiment], scale: Scale) -> String {
+    let mut results: HashMap<Experiment, ExperimentOutput> = HashMap::new();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "WWT reproduction — {} scale\n{}",
+        match scale {
+            Scale::Paper => "paper",
+            Scale::Test => "test",
+        },
+        "=".repeat(70)
+    );
+    for &e in experiments {
+        let r = wwt_core::run_experiment(e, scale);
+        let _ = writeln!(out, "\n### {} ({})", e.id(), e.paper_tables());
+        let _ = writeln!(
+            out,
+            "validation: {} — {}",
+            if r.run.validation.passed { "PASS" } else { "FAIL" },
+            r.run.validation.detail
+        );
+        for (name, v) in &r.run.stats {
+            let _ = writeln!(out, "stat: {name} = {v}");
+        }
+        let _ = writeln!(
+            out,
+            "load imbalance: {:.1}%; waiting: {:.0}% of all cycles",
+            100.0 * r.run.report.imbalance(),
+            100.0 * r.run.report.wait_fraction()
+        );
+        for t in &r.tables {
+            let _ = writeln!(out, "\n{t}");
+        }
+        for t in &r.events {
+            let _ = writeln!(out, "\n{t}");
+        }
+        results.insert(e, r);
+    }
+
+    let _ = writeln!(out, "\n{}\nPaper-published values (for comparison)\n{0}", "-".repeat(70));
+    for t in paper_reference() {
+        if results.contains_key(&t.experiment) {
+            let _ = writeln!(out, "\nPaper Table {}: {} (total {:.1}M)", t.number, t.title, t.total);
+            for (label, v) in t.rows {
+                let _ = writeln!(out, "  {label:<28} {v:>8.1}M {:>4.0}%", 100.0 * v / t.total);
+            }
+        }
+    }
+
+    let _ = writeln!(out, "\n{}\nHeadline shape checks\n{0}", "-".repeat(70));
+    let checks = headline_checks(&results);
+    let passed = checks.iter().filter(|c| c.pass).count();
+    for c in &checks {
+        let _ = writeln!(out, "\n{c}");
+    }
+    let _ = writeln!(out, "\n{passed}/{} headline checks pass", checks.len());
+    out
+}
+
+/// Re-runs one experiment with time-resolved profiling and renders its
+/// per-processor activity timeline.
+pub fn timeline_report(e: Experiment, scale: Scale) -> String {
+    // Pick a bucket that yields a few hundred samples at either scale.
+    let bucket = match scale {
+        Scale::Paper => 200_000,
+        Scale::Test => 2_000,
+    };
+    let sim = wwt_core::sim::SimConfig {
+        profile_bucket: Some(bucket),
+        ..wwt_core::sim::SimConfig::default()
+    };
+    let out = run_experiment_with(e, scale, sim);
+    format!(
+        "
+### {} — timeline
+{}",
+        e.id(),
+        render_timeline(&out.run.report, bucket, 100)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_report_renders() {
+        let t = timeline_report(Experiment::LcpMp, Scale::Test);
+        assert!(t.contains("timeline"));
+        assert!(t.contains('|'));
+    }
+
+    #[test]
+    fn report_renders_for_a_small_experiment_set() {
+        let s = full_report(&[Experiment::GaussMp, Experiment::GaussSm], Scale::Test);
+        assert!(s.contains("gauss-mp"));
+        assert!(s.contains("Computation"));
+        assert!(s.contains("headline checks pass"));
+        assert!(s.contains("Paper Table 8"));
+    }
+}

@@ -1,0 +1,537 @@
+//! The experiment registry: every table and figure of the paper's
+//! evaluation, runnable at paper scale or test scale.
+
+use std::fmt;
+
+use wwt_apps::common::AppRun;
+use wwt_apps::{em3d, gauss, lcp, mse};
+use wwt_mp::{MpConfig, TreeShape};
+use wwt_sm::{AllocPolicy, ProtocolMode, SmConfig};
+
+use crate::table::{
+    breakdown_mp, breakdown_sm, events_mp, events_sm, phase_delta, BreakdownTable, EventTable,
+};
+
+/// Every experiment of the paper's evaluation section.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Experiment {
+    /// MSE-MP (Tables 4 and 6).
+    MseMp,
+    /// MSE-SM (Tables 5 and 7).
+    MseSm,
+    /// Gauss-MP with lop-sided active-message collectives (Tables 8, 10).
+    GaussMp,
+    /// Gauss-SM (Tables 9 and 11).
+    GaussSm,
+    /// The Section 5.2 collective ablation (flat/binary CMMD-level vs
+    /// lop-sided active messages: 119.3M / 40.9M / 30.1M cycles).
+    GaussAblation,
+    /// Gauss-SM with push-broadcast pivot rows (the Section 5.3.4
+    /// suggestion that protocol changes "could benefit ... the broadcasts
+    /// in Gauss").
+    GaussSmPush,
+    /// EM3D-MP (Tables 12 and 13, with init/main phase split).
+    Em3dMp,
+    /// EM3D-SM (Tables 14 and 15).
+    Em3dSm,
+    /// EM3D-SM with a 1 MB cache (Table 16, main loop).
+    Em3dSm1Mb,
+    /// EM3D-SM with local allocation (Table 17, main loop).
+    Em3dSmLocal,
+    /// EM3D-SM under the bulk-update protocol (Section 5.3.4 extension).
+    Em3dSmBulk,
+    /// EM3D-SM with consumer flush hints (Section 5.3.4 extension).
+    Em3dSmFlush,
+    /// EM3D-SM with cooperative prefetch (Section 5.3.4 extension).
+    Em3dSmPrefetch,
+    /// EM3D-SM with the Stache policy (Section 5.3.4 extension): evicted
+    /// shared blocks park in local memory instead of returning home.
+    Em3dSmStache,
+    /// Synchronous LCP-MP (Tables 18 and 22).
+    LcpMp,
+    /// Synchronous LCP-SM (Tables 19 and 23).
+    LcpSm,
+    /// Asynchronous ALCP-MP (Tables 20 and 22).
+    AlcpMp,
+    /// Asynchronous ALCP-SM (Tables 21 and 23).
+    AlcpSm,
+}
+
+impl Experiment {
+    /// All experiments, in paper order.
+    pub const ALL: [Experiment; 18] = [
+        Experiment::MseMp,
+        Experiment::MseSm,
+        Experiment::GaussMp,
+        Experiment::GaussSm,
+        Experiment::GaussAblation,
+        Experiment::GaussSmPush,
+        Experiment::Em3dMp,
+        Experiment::Em3dSm,
+        Experiment::Em3dSm1Mb,
+        Experiment::Em3dSmLocal,
+        Experiment::Em3dSmBulk,
+        Experiment::Em3dSmFlush,
+        Experiment::Em3dSmPrefetch,
+        Experiment::Em3dSmStache,
+        Experiment::LcpMp,
+        Experiment::LcpSm,
+        Experiment::AlcpMp,
+        Experiment::AlcpSm,
+    ];
+
+    /// Stable identifier (command-line friendly).
+    pub fn id(self) -> &'static str {
+        match self {
+            Experiment::MseMp => "mse-mp",
+            Experiment::MseSm => "mse-sm",
+            Experiment::GaussMp => "gauss-mp",
+            Experiment::GaussSm => "gauss-sm",
+            Experiment::GaussAblation => "gauss-ablation",
+            Experiment::GaussSmPush => "gauss-sm-push",
+            Experiment::Em3dMp => "em3d-mp",
+            Experiment::Em3dSm => "em3d-sm",
+            Experiment::Em3dSm1Mb => "em3d-sm-1mb",
+            Experiment::Em3dSmLocal => "em3d-sm-local",
+            Experiment::Em3dSmBulk => "em3d-sm-bulk",
+            Experiment::Em3dSmFlush => "em3d-sm-flush",
+            Experiment::Em3dSmPrefetch => "em3d-sm-prefetch",
+            Experiment::Em3dSmStache => "em3d-sm-stache",
+            Experiment::LcpMp => "lcp-mp",
+            Experiment::LcpSm => "lcp-sm",
+            Experiment::AlcpMp => "alcp-mp",
+            Experiment::AlcpSm => "alcp-sm",
+        }
+    }
+
+    /// Parses an [`Experiment::id`].
+    pub fn from_id(id: &str) -> Option<Experiment> {
+        Experiment::ALL.into_iter().find(|e| e.id() == id)
+    }
+
+    /// Which of the paper's tables this experiment reproduces.
+    pub fn paper_tables(self) -> &'static str {
+        match self {
+            Experiment::MseMp => "Tables 4 and 6",
+            Experiment::MseSm => "Tables 5 and 7",
+            Experiment::GaussMp => "Tables 8 and 10",
+            Experiment::GaussSm => "Tables 9 and 11",
+            Experiment::GaussAblation => "Section 5.2 (119.3M / 40.9M / 30.1M)",
+            Experiment::GaussSmPush => "Section 5.3.4 (push-broadcast pivot rows)",
+            Experiment::Em3dMp => "Tables 12 and 13",
+            Experiment::Em3dSm => "Tables 14 and 15",
+            Experiment::Em3dSm1Mb => "Table 16",
+            Experiment::Em3dSmLocal => "Table 17",
+            Experiment::Em3dSmBulk => "Section 5.3.4 (Falsafi et al.)",
+            Experiment::Em3dSmFlush => "Section 5.3.4 (consumer flush hint)",
+            Experiment::Em3dSmPrefetch => "Section 5.3.4 (cooperative prefetch)",
+            Experiment::Em3dSmStache => "Section 5.3.4 (Stache policy)",
+            Experiment::LcpMp => "Tables 18 and 22",
+            Experiment::LcpSm => "Tables 19 and 23",
+            Experiment::AlcpMp => "Tables 20 and 22",
+            Experiment::AlcpSm => "Tables 21 and 23",
+        }
+    }
+}
+
+impl fmt::Display for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Workload scale.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// The paper's workload sizes (32 processors, full problem sizes).
+    Paper,
+    /// Scaled-down workloads for tests and quick runs.
+    Test,
+}
+
+/// Everything an experiment run produces.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutput {
+    /// Which experiment ran.
+    pub experiment: Experiment,
+    /// At which scale.
+    pub scale: Scale,
+    /// The primary application run.
+    pub run: AppRun,
+    /// Ablation variants: (label, run).
+    pub extra_runs: Vec<(String, AppRun)>,
+    /// Paper-style breakdown tables (whole program, plus per phase where
+    /// the paper splits them).
+    pub tables: Vec<BreakdownTable>,
+    /// Paper-style per-processor event tables.
+    pub events: Vec<EventTable>,
+}
+
+fn mse_params(scale: Scale) -> mse::MseParams {
+    match scale {
+        Scale::Paper => mse::MseParams::default(),
+        Scale::Test => mse::MseParams::small(),
+    }
+}
+
+fn gauss_params(scale: Scale) -> gauss::GaussParams {
+    match scale {
+        Scale::Paper => gauss::GaussParams::default(),
+        Scale::Test => gauss::GaussParams::small(),
+    }
+}
+
+fn em3d_params(scale: Scale) -> em3d::Em3dParams {
+    match scale {
+        Scale::Paper => em3d::Em3dParams::default(),
+        Scale::Test => em3d::Em3dParams::small(),
+    }
+}
+
+fn lcp_params(scale: Scale) -> lcp::LcpParams {
+    match scale {
+        Scale::Paper => lcp::LcpParams::default(),
+        Scale::Test => lcp::LcpParams::small(),
+    }
+}
+
+fn whole_program_mp(e: Experiment, run: AppRun, comm_label: &str, title: &str) -> ExperimentOutput {
+    let avg = run.report.avg_matrix();
+    let totals = run.report.counters_merged();
+    let n = run.report.nprocs();
+    let tables = vec![breakdown_mp(title, &avg, comm_label)];
+    let events = vec![events_mp(&format!("{title} — events"), &avg, &totals, n)];
+    ExperimentOutput {
+        experiment: e,
+        scale: Scale::Paper, // overwritten by caller
+        run,
+        extra_runs: Vec::new(),
+        tables,
+        events,
+    }
+}
+
+fn whole_program_sm(e: Experiment, run: AppRun, title: &str) -> ExperimentOutput {
+    let avg = run.report.avg_matrix();
+    let totals = run.report.counters_merged();
+    let n = run.report.nprocs();
+    let tables = vec![breakdown_sm(title, &avg)];
+    let events = vec![events_sm(&format!("{title} — events"), &avg, &totals, n)];
+    ExperimentOutput {
+        experiment: e,
+        scale: Scale::Paper,
+        run,
+        extra_runs: Vec::new(),
+        tables,
+        events,
+    }
+}
+
+/// Adds init/main phase tables for runs that record them (EM3D).
+fn add_phase_tables(
+    out: &mut ExperimentOutput,
+    title: &str,
+    sm: bool,
+) {
+    let (Some(init), Some(main)) = (out.run.phase("init"), out.run.phase("main")) else {
+        return;
+    };
+    let n = init.snapshot.len();
+    let zero = vec![
+        (0u64, wwt_sim::CycleMatrix::new(), wwt_sim::Counters::new());
+        n
+    ];
+    let (init_m, init_c) = phase_delta(&init.snapshot, &zero);
+    let (main_m, main_c) = phase_delta(&main.snapshot, &init.snapshot);
+    let mk = |t: &str, m: &wwt_sim::CycleMatrix| {
+        if sm {
+            breakdown_sm(t, m)
+        } else {
+            breakdown_mp(t, m, "Communication")
+        }
+    };
+    out.tables.push(mk(&format!("{title} — initialization"), &init_m));
+    out.tables.push(mk(&format!("{title} — main loop"), &main_m));
+    let ev = if sm {
+        events_sm(&format!("{title} — main loop events"), &main_m, &main_c, n)
+    } else {
+        events_mp(&format!("{title} — main loop events"), &main_m, &main_c, n)
+    };
+    out.events.push(ev);
+    let _ = init_c;
+}
+
+/// Runs one experiment at the given scale.
+pub fn run_experiment(e: Experiment, scale: Scale) -> ExperimentOutput {
+    run_experiment_with(e, scale, wwt_sim::SimConfig::default())
+}
+
+/// Runs one experiment with explicit engine settings (e.g. time-resolved
+/// profiling for [`crate::render_timeline`]).
+pub fn run_experiment_with(
+    e: Experiment,
+    scale: Scale,
+    sim: wwt_sim::SimConfig,
+) -> ExperimentOutput {
+    let mp_base = MpConfig {
+        sim,
+        ..MpConfig::default()
+    };
+    let sm_base = SmConfig {
+        sim,
+        ..SmConfig::default()
+    };
+    let mut out = match e {
+        Experiment::MseMp => whole_program_mp(
+            e,
+            mse::mp::run(&mse_params(scale), mp_base),
+            "Communication",
+            "MSE-MP (Microstructure Electrostatics, Message Passing)",
+        ),
+        Experiment::MseSm => whole_program_sm(
+            e,
+            mse::sm::run(&mse_params(scale), sm_base),
+            "MSE-SM (Microstructure Electrostatics, Shared Memory)",
+        ),
+        Experiment::GaussMp => whole_program_mp(
+            e,
+            gauss::mp::run(&gauss_params(scale), mp_base, TreeShape::Lopsided),
+            "Broadcast/Reduction",
+            "Gauss-MP (Gaussian Elimination, Message Passing)",
+        ),
+        Experiment::GaussSm => whole_program_sm(
+            e,
+            gauss::sm::run(&gauss_params(scale), sm_base),
+            "Gauss-SM (Gaussian Elimination, Shared Memory)",
+        ),
+        Experiment::GaussAblation => {
+            let p = gauss_params(scale);
+            let cmmd = MpConfig {
+                collective_msg_overhead: 250,
+                ..mp_base
+            };
+            let flat = gauss::mp::run(&p, cmmd, TreeShape::Flat);
+            let binary = gauss::mp::run(&p, cmmd, TreeShape::Binary);
+            let lop = gauss::mp::run(&p, mp_base, TreeShape::Lopsided);
+            let coll_cycles = |r: &AppRun| {
+                let m = r.report.avg_matrix();
+                (m.by_scope(wwt_sim::Scope::Reduction) + m.by_scope(wwt_sim::Scope::Broadcast))
+                    as f64
+            };
+            let events = vec![EventTable {
+                title: "Gauss collective implementations (cycles in reductions + broadcasts, per processor)".into(),
+                rows: vec![
+                    ("Flat, CMMD-level messages".into(), coll_cycles(&flat)),
+                    ("Binary tree, CMMD-level messages".into(), coll_cycles(&binary)),
+                    ("Lop-sided tree, active messages".into(), coll_cycles(&lop)),
+                ],
+            }];
+            ExperimentOutput {
+                experiment: e,
+                scale,
+                run: lop,
+                extra_runs: vec![
+                    ("flat-cmmd".into(), flat),
+                    ("binary-cmmd".into(), binary),
+                ],
+                tables: Vec::new(),
+                events,
+            }
+        }
+        Experiment::GaussSmPush => {
+            let params = gauss::GaussParams {
+                sm_push_broadcast: true,
+                ..gauss_params(scale)
+            };
+            whole_program_sm(
+                e,
+                gauss::sm::run(&params, sm_base),
+                "Gauss-SM, push-broadcast pivot rows",
+            )
+        }
+        Experiment::Em3dMp => {
+            let mut out = whole_program_mp(
+                e,
+                em3d::mp::run(&em3d_params(scale), mp_base),
+                "Communication",
+                "EM3D-MP (Electromagnetic Propagation, Message Passing)",
+            );
+            add_phase_tables(&mut out, "EM3D-MP", false);
+            out
+        }
+        Experiment::Em3dSm => {
+            let mut out = whole_program_sm(
+                e,
+                em3d::sm::run(&em3d_params(scale), sm_base),
+                "EM3D-SM (Electromagnetic Propagation, Shared Memory)",
+            );
+            add_phase_tables(&mut out, "EM3D-SM", true);
+            out
+        }
+        Experiment::Em3dSm1Mb => {
+            let cfg = SmConfig {
+                cache: wwt_mem::CacheGeometry::one_megabyte(),
+                ..sm_base
+            };
+            let mut out = whole_program_sm(
+                e,
+                em3d::sm::run(&em3d_params(scale), cfg),
+                "EM3D-SM, 1 MB cache",
+            );
+            add_phase_tables(&mut out, "EM3D-SM (1 MB cache)", true);
+            out
+        }
+        Experiment::Em3dSmLocal => {
+            let cfg = SmConfig {
+                alloc_policy: AllocPolicy::Local,
+                ..sm_base
+            };
+            let mut out = whole_program_sm(
+                e,
+                em3d::sm::run(&em3d_params(scale), cfg),
+                "EM3D-SM, local allocation",
+            );
+            add_phase_tables(&mut out, "EM3D-SM (local allocation)", true);
+            out
+        }
+        Experiment::Em3dSmBulk => {
+            // The Section 5.3.4 result (Falsafi et al.) replaces the
+            // invalidation protocol with application-specific bulk update;
+            // an application-specific protocol also places data sensibly,
+            // so this variant combines bulk update with local allocation.
+            let cfg = SmConfig {
+                protocol: ProtocolMode::BulkUpdate,
+                alloc_policy: AllocPolicy::Local,
+                ..sm_base
+            };
+            let mut out = whole_program_sm(
+                e,
+                em3d::sm::run(&em3d_params(scale), cfg),
+                "EM3D-SM, bulk-update protocol",
+            );
+            add_phase_tables(&mut out, "EM3D-SM (bulk update)", true);
+            out
+        }
+        Experiment::Em3dSmFlush => {
+            let cfg = SmConfig {
+                alloc_policy: AllocPolicy::Local,
+                ..sm_base
+            };
+            let params = em3d::Em3dParams {
+                hint: em3d::Em3dHint::Flush,
+                ..em3d_params(scale)
+            };
+            let mut out = whole_program_sm(
+                e,
+                em3d::sm::run(&params, cfg),
+                "EM3D-SM, consumer flush hint (+ local allocation)",
+            );
+            add_phase_tables(&mut out, "EM3D-SM (flush hint)", true);
+            out
+        }
+        Experiment::Em3dSmPrefetch => {
+            let cfg = SmConfig {
+                alloc_policy: AllocPolicy::Local,
+                ..sm_base
+            };
+            let params = em3d::Em3dParams {
+                hint: em3d::Em3dHint::Prefetch,
+                ..em3d_params(scale)
+            };
+            let mut out = whole_program_sm(
+                e,
+                em3d::sm::run(&params, cfg),
+                "EM3D-SM, cooperative prefetch (+ local allocation)",
+            );
+            add_phase_tables(&mut out, "EM3D-SM (prefetch)", true);
+            out
+        }
+        Experiment::Em3dSmStache => {
+            // Stache attacks exactly the base configuration's pathology:
+            // capacity evictions of round-robin-homed (mostly remote)
+            // blocks; keep the paper's cache and allocation policy.
+            let cfg = SmConfig {
+                stache: true,
+                ..sm_base
+            };
+            let mut out = whole_program_sm(
+                e,
+                em3d::sm::run(&em3d_params(scale), cfg),
+                "EM3D-SM, Stache policy",
+            );
+            add_phase_tables(&mut out, "EM3D-SM (Stache)", true);
+            out
+        }
+        Experiment::LcpMp => whole_program_mp(
+            e,
+            lcp::mp::run(&lcp_params(scale), mp_base, lcp::LcpMode::Synchronous),
+            "Communication",
+            "LCP-MP (Linear Complementarity, Message Passing)",
+        ),
+        Experiment::LcpSm => whole_program_sm(
+            e,
+            lcp::sm::run(&lcp_params(scale), sm_base, lcp::LcpMode::Synchronous),
+            "LCP-SM (Linear Complementarity, Shared Memory)",
+        ),
+        Experiment::AlcpMp => whole_program_mp(
+            e,
+            lcp::mp::run(&lcp_params(scale), mp_base, lcp::LcpMode::Asynchronous),
+            "Communication",
+            "ALCP-MP (Asynchronous LCP, Message Passing)",
+        ),
+        Experiment::AlcpSm => whole_program_sm(
+            e,
+            lcp::sm::run(&lcp_params(scale), sm_base, lcp::LcpMode::Asynchronous),
+            "ALCP-SM (Asynchronous LCP, Shared Memory)",
+        ),
+    };
+    out.scale = scale;
+    out.experiment = e;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for e in Experiment::ALL {
+            assert_eq!(Experiment::from_id(e.id()), Some(e));
+        }
+        assert_eq!(Experiment::from_id("nonsense"), None);
+    }
+
+    #[test]
+    fn gauss_pair_runs_and_validates_at_test_scale() {
+        for e in [Experiment::GaussMp, Experiment::GaussSm] {
+            let out = run_experiment(e, Scale::Test);
+            assert!(out.run.validation.passed, "{e}: {}", out.run.validation.detail);
+            assert!(!out.tables.is_empty());
+            assert!(out.tables[0].total > 0.0);
+        }
+    }
+
+    #[test]
+    fn em3d_outputs_phase_tables() {
+        let out = run_experiment(Experiment::Em3dMp, Scale::Test);
+        assert_eq!(out.tables.len(), 3, "whole-program + init + main");
+        let whole = out.tables[0].total;
+        let init = out.tables[1].total;
+        let main = out.tables[2].total;
+        assert!(
+            (init + main - whole).abs() / whole < 0.05,
+            "phases {init}+{main} != total {whole}"
+        );
+    }
+
+    #[test]
+    fn ablation_orders_flat_binary_lopsided() {
+        let out = run_experiment(Experiment::GaussAblation, Scale::Test);
+        let t = &out.events[0];
+        let flat = t.row("Flat, CMMD-level messages").unwrap();
+        let binary = t.row("Binary tree, CMMD-level messages").unwrap();
+        let lop = t.row("Lop-sided tree, active messages").unwrap();
+        assert!(lop < binary && binary < flat, "{lop} / {binary} / {flat}");
+    }
+}

@@ -1,0 +1,491 @@
+//! The paper's reported numbers and the headline shape checks.
+//!
+//! Absolute cycle counts cannot be expected to match — the substrate is a
+//! reimplementation, not the authors' instrumented SPARC binaries — but
+//! the paper's *conclusions* are relations between measurements: who
+//! wins, by roughly what factor, and where the time goes. This module
+//! records the paper's table values for side-by-side reporting and
+//! encodes the conclusions as machine-checkable relations.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::experiment::{Experiment, ExperimentOutput};
+
+/// One of the paper's tables, as published (cycle values in millions).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PaperTable {
+    /// Table number in the paper.
+    pub number: u32,
+    /// Caption.
+    pub title: &'static str,
+    /// The experiment that reproduces it.
+    pub experiment: Experiment,
+    /// (row label, millions of cycles) as published.
+    pub rows: &'static [(&'static str, f64)],
+    /// Total in millions of cycles.
+    pub total: f64,
+}
+
+/// The paper's execution-time breakdown tables (Tables 4–21, cycles in
+/// millions, 32 processors).
+pub fn paper_reference() -> Vec<PaperTable> {
+    vec![
+        PaperTable {
+            number: 4,
+            title: "MSE Message Passing (MSE-MP)",
+            experiment: Experiment::MseMp,
+            rows: &[
+                ("Computation", 1115.9),
+                ("Local Misses", 53.2),
+                ("Communication", 72.0),
+                ("Lib Comp", 69.9),
+                ("Network Access", 2.1),
+            ],
+            total: 1241.1,
+        },
+        PaperTable {
+            number: 5,
+            title: "MSE Shared Memory (MSE-SM)",
+            experiment: Experiment::MseSm,
+            rows: &[
+                ("Computation", 1043.8),
+                ("Cache Misses", 62.7),
+                ("Synchronization", 161.3),
+                ("Barriers", 76.0),
+                ("Start-up Wait", 80.0),
+            ],
+            total: 1267.8,
+        },
+        PaperTable {
+            number: 8,
+            title: "Gauss Message Passing (Gauss-MP)",
+            experiment: Experiment::GaussMp,
+            rows: &[
+                ("Computation", 40.8),
+                ("Local Misses", 0.2),
+                ("Broadcast/Reduction", 30.0),
+                ("Lib Comp", 23.6),
+                ("Barriers", 1.2),
+                ("Network Access", 4.7),
+            ],
+            total: 71.0,
+        },
+        PaperTable {
+            number: 9,
+            title: "Gauss Shared Memory (Gauss-SM)",
+            experiment: Experiment::GaussSm,
+            rows: &[
+                ("Computation", 39.5),
+                ("Cache Misses", 17.1),
+                ("Reductions", 4.5),
+                ("Barriers", 11.6),
+            ],
+            total: 72.7,
+        },
+        PaperTable {
+            number: 12,
+            title: "EM3D Message Passing (EM3D-MP), total",
+            experiment: Experiment::Em3dMp,
+            rows: &[
+                ("Computation", 50.5),
+                ("Local Misses", 15.0),
+                ("Communication", 21.0),
+                ("Lib Comp", 16.8),
+                ("Network Access", 3.9),
+            ],
+            total: 86.4,
+        },
+        PaperTable {
+            number: 14,
+            title: "EM3D Shared Memory (EM3D-SM), total",
+            experiment: Experiment::Em3dSm,
+            rows: &[
+                ("Computation", 43.7),
+                ("Data Access", 109.8),
+                ("Shared Misses", 97.0),
+                ("Write Faults", 12.2),
+                ("Synchronization", 18.4),
+                ("Locks", 6.9),
+                ("Barriers", 10.3),
+            ],
+            total: 172.1,
+        },
+        PaperTable {
+            number: 16,
+            title: "EM3D-SM, 1 MB cache (main loop)",
+            experiment: Experiment::Em3dSm1Mb,
+            rows: &[
+                ("Computation", 26.5),
+                ("Data Access", 33.1),
+                ("Shared Misses", 22.1),
+                ("Write Faults", 10.9),
+            ],
+            total: 61.0,
+        },
+        PaperTable {
+            number: 17,
+            title: "EM3D-SM, local allocation (main loop)",
+            experiment: Experiment::Em3dSmLocal,
+            rows: &[
+                ("Computation", 26.5),
+                ("Data Access", 58.9),
+                ("Shared Misses", 52.3),
+            ],
+            total: 86.3,
+        },
+        PaperTable {
+            number: 18,
+            title: "LCP Message Passing (LCP-MP)",
+            experiment: Experiment::LcpMp,
+            rows: &[
+                ("Computation", 41.1),
+                ("Communication", 15.6),
+                ("Lib Comp", 12.6),
+                ("Network Access", 2.7),
+            ],
+            total: 56.8,
+        },
+        PaperTable {
+            number: 19,
+            title: "LCP Shared Memory (LCP-SM)",
+            experiment: Experiment::LcpSm,
+            rows: &[
+                ("Computation", 41.3),
+                ("Cache Misses", 13.4),
+                ("Synchronization", 11.3),
+                ("Barriers", 8.0),
+            ],
+            total: 66.0,
+        },
+        PaperTable {
+            number: 20,
+            title: "Asynchronous LCP Message Passing (ALCP-MP)",
+            experiment: Experiment::AlcpMp,
+            rows: &[
+                ("Computation", 32.9),
+                ("Communication", 59.8),
+                ("Lib Comp", 46.5),
+                ("Network Access", 12.9),
+            ],
+            total: 92.7,
+        },
+        PaperTable {
+            number: 21,
+            title: "Asynchronous LCP Shared Memory (ALCP-SM)",
+            experiment: Experiment::AlcpSm,
+            rows: &[
+                ("Computation", 32.0),
+                ("Cache Misses", 62.9),
+                ("Synchronization", 3.8),
+            ],
+            total: 98.7,
+        },
+    ]
+}
+
+/// Outcome of one headline shape check.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeadlineCheck {
+    /// What relation is being checked.
+    pub name: String,
+    /// What the paper reports.
+    pub paper: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Whether the measured shape matches the paper's conclusion.
+    pub pass: bool,
+}
+
+impl fmt::Display for HeadlineCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}\n    paper:    {}\n    measured: {}",
+            if self.pass { "PASS" } else { "FAIL" },
+            self.name,
+            self.paper,
+            self.measured
+        )
+    }
+}
+
+fn total(out: &ExperimentOutput) -> f64 {
+    out.tables.first().map(|t| t.total).unwrap_or(0.0)
+}
+
+fn computation(out: &ExperimentOutput) -> f64 {
+    out.tables
+        .first()
+        .and_then(|t| t.row("Computation"))
+        .unwrap_or(0.0)
+}
+
+/// Evaluates every headline conclusion of the paper against the
+/// experiments present in `results` (checks whose inputs are missing are
+/// skipped).
+pub fn headline_checks(results: &HashMap<Experiment, ExperimentOutput>) -> Vec<HeadlineCheck> {
+    let mut checks = Vec::new();
+    let get = |e: Experiment| results.get(&e);
+
+    // 1. Computation time is nearly equal within each pair; 2. total
+    //    ratios match the paper's direction.
+    let pairs = [
+        ("MSE", Experiment::MseMp, Experiment::MseSm, 1.02, 0.8, 1.35),
+        ("Gauss", Experiment::GaussMp, Experiment::GaussSm, 1.02, 0.8, 1.35),
+        ("LCP", Experiment::LcpMp, Experiment::LcpSm, 1.16, 0.95, 1.6),
+        ("EM3D", Experiment::Em3dMp, Experiment::Em3dSm, 2.0, 1.5, 3.5),
+    ];
+    for (name, mp, sm, paper_ratio, lo, hi) in pairs {
+        if let (Some(a), Some(b)) = (get(mp), get(sm)) {
+            let ca = computation(a);
+            let cb = computation(b);
+            let rel = (ca - cb).abs() / ca.max(cb).max(1.0);
+            checks.push(HeadlineCheck {
+                name: format!("{name}: computation nearly equal in both versions"),
+                paper: "within a few percent".into(),
+                measured: format!("MP {:.1}M vs SM {:.1}M ({:.0}% apart)", ca / 1e6, cb / 1e6, 100.0 * rel),
+                pass: rel < 0.3,
+            });
+            let ratio = total(b) / total(a).max(1.0);
+            checks.push(HeadlineCheck {
+                name: format!("{name}: SM/MP total time ratio"),
+                paper: format!("{paper_ratio:.2}"),
+                measured: format!("{ratio:.2}"),
+                pass: ratio >= lo && ratio <= hi,
+            });
+        }
+    }
+
+    // 3. MSE is computation-bound in both versions.
+    for (e, label) in [(Experiment::MseMp, "MSE-MP"), (Experiment::MseSm, "MSE-SM")] {
+        if let Some(out) = get(e) {
+            let share = 100.0 * computation(out) / total(out).max(1.0);
+            checks.push(HeadlineCheck {
+                name: format!("{label}: computation dominates"),
+                paper: "82-90% of time".into(),
+                measured: format!("{share:.0}%"),
+                pass: share >= 70.0,
+            });
+        }
+    }
+
+    // 4. The collective ablation ordering.
+    if let Some(out) = get(Experiment::GaussAblation) {
+        if let Some(t) = out.events.first() {
+            let flat = t.row("Flat, CMMD-level messages").unwrap_or(0.0);
+            let binary = t.row("Binary tree, CMMD-level messages").unwrap_or(0.0);
+            let lop = t.row("Lop-sided tree, active messages").unwrap_or(f64::MAX);
+            checks.push(HeadlineCheck {
+                name: "Gauss collectives: flat > binary > lop-sided".into(),
+                paper: "119.3M > 40.9M > 30.1M cycles".into(),
+                measured: format!("{:.1}M > {:.1}M > {:.1}M", flat / 1e6, binary / 1e6, lop / 1e6),
+                pass: flat > binary && binary > lop,
+            });
+        }
+    }
+
+    // 5. ALCP: fewer steps; communication per step rises sharply. For
+    //    MP the extra communication swamps the gain and the program is
+    //    slower overall, as in the paper. (Our ALCP-SM converges in fewer
+    //    steps than the paper's did, so its total does not rise; see
+    //    EXPERIMENTS.md.)
+    for (name, sync, async_, check_total) in [
+        ("MP", Experiment::LcpMp, Experiment::AlcpMp, true),
+        ("SM", Experiment::LcpSm, Experiment::AlcpSm, false),
+    ] {
+        if let (Some(s), Some(a)) = (get(sync), get(async_)) {
+            let ss = s.run.stat("steps").unwrap_or(0.0);
+            let sa = a.run.stat("steps").unwrap_or(0.0);
+            let bytes = |o: &ExperimentOutput| {
+                o.events
+                    .first()
+                    .and_then(|t| t.row("Bytes Transmitted"))
+                    .unwrap_or(0.0)
+            };
+            let per_step_s = bytes(s) / ss.max(1.0);
+            let per_step_a = bytes(a) / sa.max(1.0);
+            let pass = sa < ss
+                && per_step_a > 2.0 * per_step_s
+                && (!check_total || total(a) > total(s));
+            checks.push(HeadlineCheck {
+                name: format!(
+                    "ALCP-{name}: fewer steps than LCP-{name}, far more communication{}",
+                    if check_total { ", slower overall" } else { "" }
+                ),
+                paper: "43 steps -> 34/35; bytes ~4x; total rises ~1.5x".into(),
+                measured: format!(
+                    "{ss:.0} -> {sa:.0} steps; bytes/step {:.0} -> {:.0}; total {:.1}M -> {:.1}M",
+                    per_step_s, per_step_a,
+                    total(s) / 1e6,
+                    total(a) / 1e6
+                ),
+                pass,
+            });
+        }
+    }
+
+    // 6. EM3D variants recover the gap.
+    if let (Some(base), Some(mb)) = (get(Experiment::Em3dSm), get(Experiment::Em3dSm1Mb)) {
+        let (Some(bm), Some(mm)) = (
+            base.tables.iter().find(|t| t.title.contains("main loop")),
+            mb.tables.iter().find(|t| t.title.contains("main loop")),
+        ) else {
+            unreachable!("EM3D outputs phase tables")
+        };
+        let bm_miss = bm.row("Shared Misses").unwrap_or(0.0);
+        let mm_miss = mm.row("Shared Misses").unwrap_or(f64::MAX);
+        checks.push(HeadlineCheck {
+            name: "EM3D-SM: 1 MB cache removes the capacity misses".into(),
+            paper: "main loop 130.0M -> 61.0M (misses 83.6M -> 22.1M)".into(),
+            measured: format!(
+                "main loop {:.1}M -> {:.1}M (misses {:.1}M -> {:.1}M)",
+                bm.total / 1e6,
+                mm.total / 1e6,
+                bm_miss / 1e6,
+                mm_miss / 1e6
+            ),
+            pass: mm.total < 0.9 * bm.total && mm_miss < 0.65 * bm_miss,
+        });
+    }
+    if let (Some(base), Some(local)) = (get(Experiment::Em3dSm), get(Experiment::Em3dSmLocal)) {
+        let (Some(bm), Some(lm)) = (
+            base.tables.iter().find(|t| t.title.contains("main loop")),
+            local.tables.iter().find(|t| t.title.contains("main loop")),
+        ) else {
+            unreachable!("EM3D outputs phase tables")
+        };
+        checks.push(HeadlineCheck {
+            name: "EM3D-SM: local allocation runs the main loop in ~2/3 the time".into(),
+            paper: "130.0M -> 86.3M".into(),
+            measured: format!("{:.1}M -> {:.1}M", bm.total / 1e6, lm.total / 1e6),
+            pass: lm.total < 0.85 * bm.total,
+        });
+    }
+    if let (Some(base), Some(bulk), Some(mp)) = (
+        get(Experiment::Em3dSm),
+        get(Experiment::Em3dSmBulk),
+        get(Experiment::Em3dMp),
+    ) {
+        checks.push(HeadlineCheck {
+            name: "EM3D-SM: bulk-update protocol approaches EM3D-MP".into(),
+            paper: "performed equivalently with EM3D-MP (Falsafi et al.)".into(),
+            measured: format!(
+                "invalidate {:.1}M, bulk {:.1}M, MP {:.1}M",
+                total(base) / 1e6,
+                total(bulk) / 1e6,
+                total(mp) / 1e6
+            ),
+            pass: total(bulk) < total(base) && total(bulk) < 1.5 * total(mp),
+        });
+    }
+
+    // 6b. Extension remedies (Section 5.3.4 discussion).
+    if let (Some(base), Some(stache)) = (get(Experiment::Em3dSm), get(Experiment::Em3dSmStache)) {
+        if let (Some(bm), Some(sm_)) = (
+            base.tables.iter().find(|t| t.title.contains("main loop")),
+            stache.tables.iter().find(|t| t.title.contains("main loop")),
+        ) {
+            checks.push(HeadlineCheck {
+                name: "EM3D-SM: Stache converts remote re-misses into local refills".into(),
+                paper: "discussed (Reinhardt, Larus & Wood)".into(),
+                measured: format!("main loop {:.1}M -> {:.1}M", bm.total / 1e6, sm_.total / 1e6),
+                pass: sm_.total < 0.85 * bm.total,
+            });
+        }
+    }
+    if let (Some(base), Some(push), Some(mp)) = (
+        get(Experiment::GaussSm),
+        get(Experiment::GaussSmPush),
+        get(Experiment::GaussMp),
+    ) {
+        checks.push(HeadlineCheck {
+            name: "Gauss-SM: push-broadcast pivot rows remove the read contention".into(),
+            paper: "\"similar protocol changes could benefit ... the broadcasts in Gauss\"".into(),
+            measured: format!(
+                "Gauss-SM {:.1}M -> {:.1}M (Gauss-MP: {:.1}M)",
+                total(base) / 1e6,
+                total(push) / 1e6,
+                total(mp) / 1e6
+            ),
+            pass: total(push) < total(base),
+        });
+    }
+
+    // 7. MP library overhead is visible (3-42% of time).
+    for (e, label) in [
+        (Experiment::MseMp, "MSE-MP"),
+        (Experiment::GaussMp, "Gauss-MP"),
+        (Experiment::Em3dMp, "EM3D-MP"),
+        (Experiment::LcpMp, "LCP-MP"),
+    ] {
+        if let Some(out) = get(e) {
+            let lib = out.tables[0].row("Lib Comp").unwrap_or(0.0);
+            let share = 100.0 * lib / total(out).max(1.0);
+            checks.push(HeadlineCheck {
+                name: format!("{label}: time in communication library routines"),
+                paper: "3-42% of program time".into(),
+                measured: format!("{share:.0}%"),
+                pass: (1.0..60.0).contains(&share),
+            });
+        }
+    }
+
+    checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_experiment, Scale};
+
+    #[test]
+    fn paper_reference_rows_do_not_exceed_totals() {
+        for t in paper_reference() {
+            for (label, v) in t.rows {
+                assert!(
+                    *v <= t.total + 1e-9,
+                    "table {}: row {} = {} > total {}",
+                    t.number,
+                    label,
+                    v,
+                    t.total
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_reference_covers_every_breakdown_experiment() {
+        let covered: Vec<Experiment> =
+            paper_reference().iter().map(|t| t.experiment).collect();
+        for e in [
+            Experiment::MseMp,
+            Experiment::GaussSm,
+            Experiment::Em3dSm,
+            Experiment::AlcpSm,
+        ] {
+            assert!(covered.contains(&e), "{e} missing from the reference");
+        }
+    }
+
+    #[test]
+    fn lcp_headline_checks_are_generated() {
+        // The "slower overall" half of the ALCP relation only emerges at
+        // paper scale (31-way star sends per sweep); at test scale we
+        // check the checks exist and the fewer-steps half holds.
+        let mut results = HashMap::new();
+        for e in [Experiment::LcpMp, Experiment::LcpSm, Experiment::AlcpMp, Experiment::AlcpSm] {
+            results.insert(e, run_experiment(e, Scale::Test));
+        }
+        let checks = headline_checks(&results);
+        let alcp: Vec<&HeadlineCheck> = checks
+            .iter()
+            .filter(|c| c.name.starts_with("ALCP"))
+            .collect();
+        assert_eq!(alcp.len(), 2);
+        let steps = |e: Experiment| results[&e].run.stat("steps").unwrap();
+        assert!(steps(Experiment::AlcpMp) < steps(Experiment::LcpMp));
+        assert!(steps(Experiment::AlcpSm) < steps(Experiment::LcpSm));
+    }
+}

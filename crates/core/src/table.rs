@@ -1,0 +1,486 @@
+//! Projection of the engine's (scope × kind) cycle matrices into the
+//! paper's breakdown and event-count tables.
+
+use std::fmt;
+
+use wwt_sim::{Counter, Counters, CycleMatrix, Kind, Scope};
+
+/// One row of a breakdown table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// Row label, as printed in the paper's tables.
+    pub label: String,
+    /// Average cycles per processor.
+    pub cycles: f64,
+    /// Nesting depth for display (sub-rows of a group are indented).
+    pub indent: usize,
+}
+
+/// A paper-style execution-time breakdown (cycles and percentage per
+/// category, averaged over processors).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BreakdownTable {
+    /// Table caption.
+    pub title: String,
+    /// Rows in display order. Indented rows are included in their parent
+    /// group row, so only `indent == 0` rows sum to the total.
+    pub rows: Vec<Row>,
+    /// Total cycles (average per processor).
+    pub total: f64,
+}
+
+impl BreakdownTable {
+    /// The cycles of a row by label, if present.
+    pub fn row(&self, label: &str) -> Option<f64> {
+        self.rows.iter().find(|r| r.label == label).map(|r| r.cycles)
+    }
+
+    /// A row's share of the total, in percent.
+    pub fn pct(&self, label: &str) -> Option<f64> {
+        self.row(label).map(|c| 100.0 * c / self.total.max(1.0))
+    }
+}
+
+impl BreakdownTable {
+    /// Renders the table as GitHub-flavored markdown (used to regenerate
+    /// the EXPERIMENTS.md comparisons).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("**{}**\n\n", self.title));
+        out.push_str("| Category | Cycles (M) | % |\n|---|---:|---:|\n");
+        for r in &self.rows {
+            let pad = if r.indent > 0 { "&nbsp;&nbsp;" } else { "" };
+            out.push_str(&format!(
+                "| {}{} | {:.1} | {:.0}% |\n",
+                pad,
+                r.label,
+                r.cycles / 1e6,
+                100.0 * r.cycles / self.total.max(1.0)
+            ));
+        }
+        out.push_str(&format!("| **Total** | **{:.1}** | 100% |\n", self.total / 1e6));
+        out
+    }
+}
+
+impl fmt::Display for BreakdownTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "  {:<28} {:>10} {:>5}", "Category", "Cycles (M)", "%")?;
+        for r in &self.rows {
+            let pad = "  ".repeat(r.indent);
+            writeln!(
+                f,
+                "  {pad}{:<width$} {:>10.1} {:>4.0}%",
+                r.label,
+                r.cycles / 1e6,
+                100.0 * r.cycles / self.total.max(1.0),
+                width = 28 - 2 * r.indent,
+            )?;
+        }
+        writeln!(f, "  {:<28} {:>10.1} {:>4.0}%", "Total", self.total / 1e6, 100.0)
+    }
+}
+
+fn scopes_lib() -> [Scope; 4] {
+    [Scope::Lib, Scope::Broadcast, Scope::Reduction, Scope::Sync]
+}
+
+fn cells(m: &CycleMatrix, scopes: &[Scope], kinds: &[Kind]) -> f64 {
+    scopes
+        .iter()
+        .flat_map(|&s| kinds.iter().map(move |&k| m.get(s, k)))
+        .sum::<u64>() as f64
+}
+
+/// Projects a message-passing run's average matrix into the paper's MP
+/// breakdown (Tables 4, 8, 12, 18, 20). `comm_label` names the
+/// communication group ("Communication" for most programs,
+/// "Broadcast/Reduction" for Gauss).
+pub fn breakdown_mp(title: &str, m: &CycleMatrix, comm_label: &str) -> BreakdownTable {
+    let computation = cells(m, &[Scope::App, Scope::Startup], &[Kind::Compute]);
+    let local_misses = cells(m, &[Scope::App], &[Kind::PrivMiss, Kind::TlbMiss]);
+    let lib = scopes_lib();
+    let lib_comp = cells(m, &lib, &[Kind::Compute, Kind::Wait, Kind::LockWait]);
+    let lib_miss = cells(m, &lib, &[Kind::PrivMiss, Kind::TlbMiss]);
+    let net = cells(m, &Scope::ALL, &[Kind::NetAccess]);
+    let barrier = cells(m, &Scope::ALL, &[Kind::BarrierWait]);
+    let covered =
+        computation + local_misses + lib_comp + lib_miss + net + barrier;
+    let other = m.total() as f64 - covered;
+    let comm = lib_comp + lib_miss + net + barrier;
+    let mut rows = vec![
+        Row {
+            label: "Computation".into(),
+            cycles: computation,
+            indent: 0,
+        },
+        Row {
+            label: "Local Misses".into(),
+            cycles: local_misses,
+            indent: 0,
+        },
+        Row {
+            label: comm_label.into(),
+            cycles: comm,
+            indent: 0,
+        },
+        Row {
+            label: "Lib Comp".into(),
+            cycles: lib_comp,
+            indent: 1,
+        },
+        Row {
+            label: "Lib Misses".into(),
+            cycles: lib_miss,
+            indent: 1,
+        },
+        Row {
+            label: "Barriers".into(),
+            cycles: barrier,
+            indent: 1,
+        },
+        Row {
+            label: "Network Access".into(),
+            cycles: net,
+            indent: 1,
+        },
+    ];
+    if other > 0.0 {
+        rows.push(Row {
+            label: "Other".into(),
+            cycles: other,
+            indent: 0,
+        });
+    }
+    BreakdownTable {
+        title: title.into(),
+        rows,
+        total: m.total() as f64,
+    }
+}
+
+/// Projects a shared-memory run's average matrix into the paper's SM
+/// breakdown (Tables 5, 9, 14, 19, 21).
+pub fn breakdown_sm(title: &str, m: &CycleMatrix) -> BreakdownTable {
+    let computation = cells(m, &[Scope::App], &[Kind::Compute]);
+    let shared = cells(m, &[Scope::App], &[Kind::ShMissLocal, Kind::ShMissRemote]);
+    let wfaults = cells(m, &[Scope::App], &[Kind::WriteFault]);
+    let tlb = cells(m, &[Scope::App], &[Kind::TlbMiss]);
+    let private = cells(m, &[Scope::App], &[Kind::PrivMiss]);
+    let barriers = cells(m, &[Scope::App, Scope::Sync], &[Kind::BarrierWait]);
+    let locks = m.by_scope(Scope::Lock) as f64;
+    let reductions = m.by_scope(Scope::Reduction) as f64;
+    let startup = m.by_scope(Scope::Startup) as f64;
+    let sync_comp = cells(m, &[Scope::Sync], &[Kind::Compute]);
+    let sync_other = m.by_scope(Scope::Sync) as f64
+        - sync_comp
+        - cells(m, &[Scope::Sync], &[Kind::BarrierWait]);
+    let covered = computation
+        + shared
+        + wfaults
+        + tlb
+        + private
+        + barriers
+        + locks
+        + reductions
+        + startup
+        + sync_comp
+        + sync_other;
+    let other = m.total() as f64 - covered;
+    let data_access = shared + wfaults + tlb + private;
+    let sync_total = barriers + locks + reductions + startup + sync_comp + sync_other;
+    let mut rows = vec![
+        Row {
+            label: "Computation".into(),
+            cycles: computation,
+            indent: 0,
+        },
+        Row {
+            label: "Data Access".into(),
+            cycles: data_access,
+            indent: 0,
+        },
+        Row {
+            label: "Shared Misses".into(),
+            cycles: shared,
+            indent: 1,
+        },
+        Row {
+            label: "Write Faults".into(),
+            cycles: wfaults,
+            indent: 1,
+        },
+        Row {
+            label: "TLB Misses".into(),
+            cycles: tlb,
+            indent: 1,
+        },
+        Row {
+            label: "Private Misses".into(),
+            cycles: private,
+            indent: 1,
+        },
+        Row {
+            label: "Synchronization".into(),
+            cycles: sync_total,
+            indent: 0,
+        },
+        Row {
+            label: "Sync Comp".into(),
+            cycles: sync_comp + sync_other,
+            indent: 1,
+        },
+        Row {
+            label: "Reductions".into(),
+            cycles: reductions,
+            indent: 1,
+        },
+        Row {
+            label: "Locks".into(),
+            cycles: locks,
+            indent: 1,
+        },
+        Row {
+            label: "Barriers".into(),
+            cycles: barriers,
+            indent: 1,
+        },
+        Row {
+            label: "Start-up Wait".into(),
+            cycles: startup,
+            indent: 1,
+        },
+    ];
+    if other > 0.0 {
+        rows.push(Row {
+            label: "Other".into(),
+            cycles: other,
+            indent: 0,
+        });
+    }
+    BreakdownTable {
+        title: title.into(),
+        rows,
+        total: m.total() as f64,
+    }
+}
+
+/// A paper-style per-processor event-count table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventTable {
+    /// Table caption.
+    pub title: String,
+    /// (label, per-processor value) rows.
+    pub rows: Vec<(String, f64)>,
+}
+
+impl EventTable {
+    /// The value of a row by label, if present.
+    pub fn row(&self, label: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, v)| v)
+    }
+}
+
+impl fmt::Display for EventTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        for (label, v) in &self.rows {
+            if *v >= 1e6 {
+                writeln!(f, "  {label:<30} {:>10.1}M", v / 1e6)?;
+            } else {
+                writeln!(f, "  {label:<30} {v:>10.0}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn comp_per_data_byte(m: &CycleMatrix, c: &Counters, nprocs: usize) -> f64 {
+    let comp = cells(m, &[Scope::App], &[Kind::Compute]);
+    let data = c.get(Counter::BytesData) as f64 / nprocs as f64;
+    if data > 0.0 {
+        comp / data
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Builds the paper's MP event table (Tables 6, 10, 13, 22) from
+/// machine-wide counters and the average cycle matrix.
+pub fn events_mp(title: &str, avg_matrix: &CycleMatrix, total: &Counters, nprocs: usize) -> EventTable {
+    let per = |c: Counter| total.get(c) as f64 / nprocs as f64;
+    EventTable {
+        title: title.into(),
+        rows: vec![
+            ("Local Misses".into(), per(Counter::PrivMisses)),
+            ("Messages sent".into(), per(Counter::MessagesSent)),
+            ("Channel Writes".into(), per(Counter::ChannelWrites)),
+            ("Active Messages".into(), per(Counter::ActiveMessages)),
+            ("Packets sent".into(), per(Counter::PacketsSent)),
+            (
+                "Bytes Transmitted".into(),
+                per(Counter::BytesData) + per(Counter::BytesControl),
+            ),
+            ("Data".into(), per(Counter::BytesData)),
+            ("Control".into(), per(Counter::BytesControl)),
+            (
+                "Computation Cycles Per Data Byte".into(),
+                comp_per_data_byte(avg_matrix, total, nprocs),
+            ),
+        ],
+    }
+}
+
+/// Builds the paper's SM event table (Tables 7, 11, 15, 23).
+pub fn events_sm(title: &str, avg_matrix: &CycleMatrix, total: &Counters, nprocs: usize) -> EventTable {
+    let per = |c: Counter| total.get(c) as f64 / nprocs as f64;
+    EventTable {
+        title: title.into(),
+        rows: vec![
+            ("Private Misses".into(), per(Counter::PrivMisses)),
+            (
+                "Shared Misses".into(),
+                per(Counter::ShMissesLocal) + per(Counter::ShMissesRemote),
+            ),
+            ("Local".into(), per(Counter::ShMissesLocal)),
+            ("Remote".into(), per(Counter::ShMissesRemote)),
+            ("Write Faults".into(), per(Counter::WriteFaults)),
+            (
+                "Bytes Transmitted".into(),
+                per(Counter::BytesData) + per(Counter::BytesControl),
+            ),
+            ("Data".into(), per(Counter::BytesData)),
+            ("Control".into(), per(Counter::BytesControl)),
+            ("Lock Acquires".into(), per(Counter::LockAcquires)),
+            (
+                "Computation Cycles Per Data Byte".into(),
+                comp_per_data_byte(avg_matrix, total, nprocs),
+            ),
+        ],
+    }
+}
+
+/// Subtracts snapshot `a` from snapshot `b` cell-wise (per-phase values).
+pub fn phase_delta(
+    b: &[(u64, CycleMatrix, Counters)],
+    a: &[(u64, CycleMatrix, Counters)],
+) -> (CycleMatrix, Counters) {
+    let n = b.len().max(1) as u64;
+    let mut dm = CycleMatrix::new();
+    let mut dc = Counters::new();
+    for (pb, pa) in b.iter().zip(a) {
+        for (s, k, c) in pb.1.iter() {
+            let prev = pa.1.get(s, k);
+            dm.add(s, k, c - prev);
+        }
+        for (c, v) in pb.2.iter() {
+            dc.add(c, v - pa.2.get(c));
+        }
+    }
+    // Average the matrix over processors (the counters stay machine-wide).
+    let mut avg = CycleMatrix::new();
+    for s in Scope::ALL {
+        for k in Kind::ALL {
+            avg.add(s, k, dm.get(s, k) / n);
+        }
+    }
+    (avg, dc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_matrix() -> CycleMatrix {
+        let mut m = CycleMatrix::new();
+        m.add(Scope::App, Kind::Compute, 900);
+        m.add(Scope::App, Kind::PrivMiss, 40);
+        m.add(Scope::Lib, Kind::Compute, 30);
+        m.add(Scope::Lib, Kind::Wait, 10);
+        m.add(Scope::Lib, Kind::NetAccess, 15);
+        m.add(Scope::App, Kind::BarrierWait, 5);
+        m
+    }
+
+    #[test]
+    fn mp_rows_cover_the_total() {
+        let m = demo_matrix();
+        let t = breakdown_mp("t", &m, "Communication");
+        let top: f64 = t.rows.iter().filter(|r| r.indent == 0).map(|r| r.cycles).sum();
+        assert!((top - t.total).abs() < 1e-9, "top rows {top} != total {}", t.total);
+        assert_eq!(t.row("Computation"), Some(900.0));
+        assert_eq!(t.row("Lib Comp"), Some(40.0));
+        assert_eq!(t.row("Network Access"), Some(15.0));
+    }
+
+    #[test]
+    fn sm_rows_cover_the_total() {
+        let mut m = CycleMatrix::new();
+        m.add(Scope::App, Kind::Compute, 500);
+        m.add(Scope::App, Kind::ShMissRemote, 100);
+        m.add(Scope::App, Kind::WriteFault, 20);
+        m.add(Scope::Lock, Kind::LockWait, 30);
+        m.add(Scope::Reduction, Kind::Wait, 25);
+        m.add(Scope::Startup, Kind::Wait, 40);
+        m.add(Scope::App, Kind::BarrierWait, 15);
+        let t = breakdown_sm("t", &m);
+        let top: f64 = t.rows.iter().filter(|r| r.indent == 0).map(|r| r.cycles).sum();
+        assert!((top - t.total).abs() < 1e-9);
+        assert_eq!(t.row("Shared Misses"), Some(100.0));
+        assert_eq!(t.row("Locks"), Some(30.0));
+        assert_eq!(t.row("Start-up Wait"), Some(40.0));
+        assert_eq!(t.row("Barriers"), Some(15.0));
+    }
+
+    #[test]
+    fn pct_is_relative_to_total() {
+        let m = demo_matrix();
+        let t = breakdown_mp("t", &m, "Communication");
+        assert!((t.pct("Computation").unwrap() - 90.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn display_renders_every_row() {
+        let t = breakdown_mp("Demo", &demo_matrix(), "Communication");
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("Computation"));
+        assert!(s.contains("Total"));
+    }
+
+    #[test]
+    fn phase_delta_subtracts() {
+        let mut m1 = CycleMatrix::new();
+        m1.add(Scope::App, Kind::Compute, 100);
+        let mut c1 = Counters::new();
+        c1.add(Counter::PacketsSent, 5);
+        let mut m2 = CycleMatrix::new();
+        m2.add(Scope::App, Kind::Compute, 250);
+        let mut c2 = Counters::new();
+        c2.add(Counter::PacketsSent, 8);
+        let (dm, dc) = phase_delta(&[(250, m2, c2)], &[(100, m1, c1)]);
+        assert_eq!(dm.get(Scope::App, Kind::Compute), 150);
+        assert_eq!(dc.get(Counter::PacketsSent), 3);
+    }
+}
+
+#[cfg(test)]
+mod markdown_tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_rows_and_total() {
+        let mut m = CycleMatrix::new();
+        m.add(Scope::App, Kind::Compute, 2_000_000);
+        m.add(Scope::Lib, Kind::NetAccess, 500_000);
+        let t = breakdown_mp("Demo", &m, "Communication");
+        let md = t.to_markdown();
+        assert!(md.contains("| Category |"));
+        assert!(md.contains("Computation | 2.0 | 80%"));
+        assert!(md.contains("**2.5**"));
+    }
+}

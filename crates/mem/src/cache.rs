@@ -1,0 +1,430 @@
+//! Set-associative cache tag model with random replacement.
+//!
+//! The cache tracks tags and line states only; data values live in the
+//! node's backing store ([`crate::NodeMem`]). This matches the Wisconsin
+//! Wind Tunnel approach, where the simulator models timing and coherence
+//! while data is held in host memory.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+use crate::addr::BLOCK_BYTES;
+
+/// State of one cache line.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LineState {
+    /// Present, not modified. For shared data this is a *read-only* copy
+    /// (writing to it raises a write fault on the shared-memory machine).
+    Clean,
+    /// Present and modified (exclusive ownership for shared data).
+    Dirty,
+}
+
+/// Geometry of a cache.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Block (line) size in bytes.
+    pub block_bytes: u64,
+}
+
+impl CacheGeometry {
+    /// The paper's cache: 256 KB, 4-way set associative, 32-byte blocks
+    /// (Table 1).
+    pub fn paper_default() -> Self {
+        CacheGeometry {
+            size_bytes: 256 * 1024,
+            ways: 4,
+            block_bytes: BLOCK_BYTES,
+        }
+    }
+
+    /// The 1 MB variant used for the EM3D study (Table 16).
+    pub fn one_megabyte() -> Self {
+        CacheGeometry {
+            size_bytes: 1024 * 1024,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, non-power-of-two
+    /// set count, or capacity not divisible by `ways * block_bytes`).
+    pub fn sets(&self) -> usize {
+        assert!(self.ways > 0, "cache must have at least one way");
+        let per_way = self.size_bytes / (self.ways as u64);
+        assert!(
+            per_way.is_multiple_of(self.block_bytes),
+            "capacity not divisible by ways * block"
+        );
+        let sets = per_way / self.block_bytes;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets as usize
+    }
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Line {
+    /// Raw block address stored in this line (`GAddr::raw` of the block).
+    tag: u64,
+    state: LineState,
+    valid: bool,
+}
+
+const EMPTY: Line = Line {
+    tag: 0,
+    state: LineState::Clean,
+    valid: false,
+};
+
+/// How an access intends to use the block.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// A block evicted to make room for a fill.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// Raw block address of the victim.
+    pub block: u64,
+    /// Victim state at eviction (a `Dirty` victim must be written back).
+    pub state: LineState,
+}
+
+/// Result of a cache access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the block was present with sufficient permission.
+    ///
+    /// A write to a `Clean` line is reported as a hit with
+    /// `upgrade = true`: the data was present but the line needs write
+    /// permission (a write fault on the shared-memory machine).
+    pub hit: bool,
+    /// True when a write found the block `Clean` (write-permission
+    /// upgrade needed for shared data).
+    pub upgrade: bool,
+    /// The victim evicted by the fill, if the access missed and replaced a
+    /// valid line.
+    pub evicted: Option<Evicted>,
+}
+
+/// A set-associative cache with random replacement.
+///
+/// Accesses both probe and update the cache: a miss fills the block
+/// (choosing an invalid way if one exists, otherwise a uniformly random
+/// victim) and reports the evicted line so the caller can charge
+/// replacement costs.
+pub struct Cache {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    block_shift: u32,
+    rng: SmallRng,
+}
+
+impl fmt::Debug for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cache")
+            .field("geometry", &self.geometry)
+            .field("resident", &self.resident_blocks())
+            .finish()
+    }
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry and replacement seed.
+    pub fn new(geometry: CacheGeometry, seed: u64) -> Self {
+        let nsets = geometry.sets();
+        Cache {
+            geometry,
+            sets: vec![vec![EMPTY; geometry.ways]; nsets],
+            set_mask: (nsets as u64) - 1,
+            block_shift: geometry.block_bytes.trailing_zeros(),
+            rng: SmallRng::seed_from_u64(seed ^ 0xcac4e),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    fn set_index(&self, block: u64) -> usize {
+        ((block >> self.block_shift) & self.set_mask) as usize
+    }
+
+    /// Accesses the block containing raw block address `block`
+    /// (must be block-aligned), filling it on a miss.
+    ///
+    /// The state after the access is `Dirty` for writes and the previous
+    /// state (or `Clean` on a fill) for reads.
+    pub fn access(&mut self, block: u64, kind: AccessKind) -> AccessResult {
+        debug_assert!(
+            block & (self.geometry.block_bytes - 1) == 0,
+            "unaligned block address"
+        );
+        let set_idx = self.set_index(block);
+        let ways = self.geometry.ways;
+        let set = &mut self.sets[set_idx];
+
+        for line in set.iter_mut() {
+            if line.valid && line.tag == block {
+                let upgrade = kind == AccessKind::Write && line.state == LineState::Clean;
+                if kind == AccessKind::Write {
+                    line.state = LineState::Dirty;
+                }
+                return AccessResult {
+                    hit: true,
+                    upgrade,
+                    evicted: None,
+                };
+            }
+        }
+
+        // Miss: pick a victim (an invalid way if possible, else random).
+        let victim_idx = match set.iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => self.rng.gen_range(0..ways),
+        };
+        let victim = set[victim_idx];
+        let evicted = victim.valid.then_some(Evicted {
+            block: victim.tag,
+            state: victim.state,
+        });
+        set[victim_idx] = Line {
+            tag: block,
+            state: if kind == AccessKind::Write {
+                LineState::Dirty
+            } else {
+                LineState::Clean
+            },
+            valid: true,
+        };
+        AccessResult {
+            hit: false,
+            upgrade: false,
+            evicted,
+        }
+    }
+
+    /// Fills `block` with an explicit state without counting as an access
+    /// (used when a coherence response installs a line). Returns the
+    /// evicted victim, if any.
+    pub fn fill(&mut self, block: u64, state: LineState) -> Option<Evicted> {
+        let set_idx = self.set_index(block);
+        let ways = self.geometry.ways;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == block) {
+            line.state = state;
+            return None;
+        }
+        let victim_idx = match set.iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => self.rng.gen_range(0..ways),
+        };
+        let victim = set[victim_idx];
+        let evicted = victim.valid.then_some(Evicted {
+            block: victim.tag,
+            state: victim.state,
+        });
+        set[victim_idx] = Line {
+            tag: block,
+            state,
+            valid: true,
+        };
+        evicted
+    }
+
+    /// Returns the state of `block` if it is resident.
+    pub fn state_of(&self, block: u64) -> Option<LineState> {
+        let set = &self.sets[self.set_index(block)];
+        set.iter()
+            .find(|l| l.valid && l.tag == block)
+            .map(|l| l.state)
+    }
+
+    /// Invalidates `block`, returning its state if it was resident.
+    pub fn invalidate(&mut self, block: u64) -> Option<LineState> {
+        let set_idx = self.set_index(block);
+        let set = &mut self.sets[set_idx];
+        for line in set.iter_mut() {
+            if line.valid && line.tag == block {
+                line.valid = false;
+                return Some(line.state);
+            }
+        }
+        None
+    }
+
+    /// Downgrades `block` to `Clean` (read-only), returning `true` if it
+    /// was resident and `Dirty` (i.e. a writeback is needed).
+    pub fn downgrade(&mut self, block: u64) -> bool {
+        let set_idx = self.set_index(block);
+        let set = &mut self.sets[set_idx];
+        for line in set.iter_mut() {
+            if line.valid && line.tag == block {
+                let was_dirty = line.state == LineState::Dirty;
+                line.state = LineState::Clean;
+                return was_dirty;
+            }
+        }
+        false
+    }
+
+    /// All valid resident lines as (raw block address, state) pairs.
+    pub fn resident(&self) -> Vec<(u64, LineState)> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|l| l.valid)
+            .map(|l| (l.tag, l.state))
+            .collect()
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|l| l.valid)
+            .count()
+    }
+
+    /// Invalidates everything (used between experiment phases).
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.fill(EMPTY);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        // 4 sets x 2 ways x 32B = 256B.
+        Cache::new(
+            CacheGeometry {
+                size_bytes: 256,
+                ways: 2,
+                block_bytes: 32,
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn paper_geometry_has_2048_sets() {
+        assert_eq!(CacheGeometry::paper_default().sets(), 2048);
+        assert_eq!(CacheGeometry::one_megabyte().sets(), 8192);
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut c = small_cache();
+        assert!(!c.access(0x0, AccessKind::Read).hit);
+        assert!(c.access(0x0, AccessKind::Read).hit);
+        assert_eq!(c.state_of(0x0), Some(LineState::Clean));
+    }
+
+    #[test]
+    fn write_marks_dirty_and_reports_upgrade() {
+        let mut c = small_cache();
+        c.access(0x20, AccessKind::Read);
+        let r = c.access(0x20, AccessKind::Write);
+        assert!(r.hit && r.upgrade);
+        assert_eq!(c.state_of(0x20), Some(LineState::Dirty));
+        // Second write: no upgrade.
+        let r = c.access(0x20, AccessKind::Write);
+        assert!(r.hit && !r.upgrade);
+    }
+
+    #[test]
+    fn conflicting_blocks_evict() {
+        let mut c = small_cache();
+        // Three blocks mapping to set 0 in a 2-way cache (stride = 4 sets * 32B).
+        c.access(0x000, AccessKind::Write);
+        c.access(0x080, AccessKind::Read);
+        let r = c.access(0x100, AccessKind::Read);
+        assert!(!r.hit);
+        let ev = r.evicted.expect("a valid line must be evicted");
+        assert!(ev.block == 0x000 || ev.block == 0x080);
+        // The dirty victim reports Dirty so the caller charges a writeback.
+        if ev.block == 0x000 {
+            assert_eq!(ev.state, LineState::Dirty);
+        }
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small_cache();
+        c.access(0x40, AccessKind::Write);
+        assert_eq!(c.invalidate(0x40), Some(LineState::Dirty));
+        assert_eq!(c.state_of(0x40), None);
+        assert_eq!(c.invalidate(0x40), None);
+        assert!(!c.access(0x40, AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn downgrade_reports_writeback_need() {
+        let mut c = small_cache();
+        c.access(0x60, AccessKind::Write);
+        assert!(c.downgrade(0x60));
+        assert_eq!(c.state_of(0x60), Some(LineState::Clean));
+        assert!(!c.downgrade(0x60));
+    }
+
+    #[test]
+    fn fill_does_not_duplicate_resident_block() {
+        let mut c = small_cache();
+        c.access(0x20, AccessKind::Read);
+        assert!(c.fill(0x20, LineState::Dirty).is_none());
+        assert_eq!(c.state_of(0x20), Some(LineState::Dirty));
+        assert_eq!(c.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = small_cache();
+        c.access(0x0, AccessKind::Read);
+        c.access(0x20, AccessKind::Read);
+        c.clear();
+        assert_eq!(c.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = small_cache();
+        for i in 0..64 {
+            c.access(i * 32, AccessKind::Read);
+        }
+        assert!(c.resident_blocks() <= 8);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = || {
+            let mut c = small_cache();
+            let mut evictions = Vec::new();
+            for i in 0..32 {
+                if let Some(e) = c.access((i * 7 % 16) * 32, AccessKind::Read).evicted {
+                    evictions.push(e.block);
+                }
+            }
+            evictions
+        };
+        assert_eq!(run(), run());
+    }
+}

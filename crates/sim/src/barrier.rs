@@ -1,0 +1,182 @@
+//! The hardware barrier shared by both simulated machines.
+//!
+//! Both the message-passing and the shared-memory machine provide a
+//! CM-5-style hardware barrier: all processors are released a fixed latency
+//! (100 cycles in the paper, Table 1) after the *last* arrival.
+
+use std::cell::RefCell;
+use std::fmt;
+
+use crate::account::{Counter, Kind};
+use crate::cpu::Cpu;
+use crate::time::Cycles;
+use crate::wait::WaitCell;
+
+struct Episode {
+    arrived: usize,
+    max_arrival: Cycles,
+    waiters: Vec<WaitCell>,
+}
+
+impl Episode {
+    fn new() -> Self {
+        Episode {
+            arrived: 0,
+            max_arrival: 0,
+            waiters: Vec::new(),
+        }
+    }
+}
+
+/// A hardware barrier over a fixed set of processors.
+///
+/// # Example
+///
+/// ```
+/// use std::rc::Rc;
+/// use wwt_sim::{Engine, HwBarrier, Kind, SimConfig};
+///
+/// let mut e = Engine::new(4, SimConfig::default());
+/// let barrier = Rc::new(HwBarrier::new(4, 100));
+/// for p in e.proc_ids() {
+///     let cpu = e.cpu(p);
+///     let barrier = Rc::clone(&barrier);
+///     e.spawn(p, async move {
+///         cpu.compute(10 * (p.index() as u64 + 1));
+///         barrier.wait(&cpu, Kind::BarrierWait).await;
+///         assert_eq!(cpu.clock(), 140); // last arrival (40) + 100
+///     });
+/// }
+/// e.run();
+/// ```
+pub struct HwBarrier {
+    n: usize,
+    latency: Cycles,
+    episode: RefCell<Episode>,
+}
+
+impl fmt::Debug for HwBarrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ep = self.episode.borrow();
+        f.debug_struct("HwBarrier")
+            .field("n", &self.n)
+            .field("latency", &self.latency)
+            .field("arrived", &ep.arrived)
+            .finish()
+    }
+}
+
+impl HwBarrier {
+    /// Creates a barrier over `n` processors with the given release latency
+    /// (cycles from the last arrival to the release).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, latency: Cycles) -> Self {
+        assert!(n > 0, "barrier must cover at least one processor");
+        HwBarrier {
+            n,
+            latency,
+            episode: RefCell::new(Episode::new()),
+        }
+    }
+
+    /// Number of participating processors.
+    pub fn parties(&self) -> usize {
+        self.n
+    }
+
+    /// Waits at the barrier, charging the stall to `kind`
+    /// (conventionally [`Kind::BarrierWait`]).
+    ///
+    /// Before blocking, the caller is re-synchronized with global time so
+    /// barrier episodes cannot interleave incorrectly.
+    pub async fn wait(&self, cpu: &Cpu, kind: Kind) {
+        cpu.resync().await;
+        cpu.count(Counter::Barriers, 1);
+        let arrival = cpu.clock();
+        let cell = {
+            let mut ep = self.episode.borrow_mut();
+            ep.arrived += 1;
+            ep.max_arrival = ep.max_arrival.max(arrival);
+            if ep.arrived == self.n {
+                let release = ep.max_arrival + self.latency;
+                let finished = std::mem::replace(&mut *ep, Episode::new());
+                drop(ep);
+                for w in finished.waiters {
+                    w.complete(cpu.sim(), release);
+                }
+                cpu.wait_until(release, kind);
+                return;
+            }
+            let cell = WaitCell::new();
+            ep.waiters.push(cell.clone());
+            cell
+        };
+        cell.wait(cpu, kind).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, SimConfig};
+    use crate::time::ProcId;
+    use std::rc::Rc;
+
+    fn barrier_run(nprocs: usize, work: Vec<u64>, rounds: usize) -> crate::report::SimReport {
+        let mut e = Engine::new(nprocs, SimConfig::default());
+        let barrier = Rc::new(HwBarrier::new(nprocs, 100));
+        for p in e.proc_ids() {
+            let cpu = e.cpu(p);
+            let barrier = Rc::clone(&barrier);
+            let w = work[p.index()];
+            e.spawn(p, async move {
+                for _ in 0..rounds {
+                    cpu.compute(w);
+                    barrier.wait(&cpu, Kind::BarrierWait).await;
+                }
+            });
+        }
+        e.run()
+    }
+
+    #[test]
+    fn all_released_at_last_arrival_plus_latency() {
+        let r = barrier_run(3, vec![10, 20, 300], 1);
+        for p in 0..3 {
+            assert_eq!(r.proc(ProcId::new(p)).clock, 400);
+        }
+    }
+
+    #[test]
+    fn slowest_proc_charges_only_latency() {
+        let r = barrier_run(2, vec![10, 500], 1);
+        let fast = r.proc(ProcId::new(0));
+        let slow = r.proc(ProcId::new(1));
+        assert_eq!(fast.matrix.by_kind(Kind::BarrierWait), 590);
+        assert_eq!(slow.matrix.by_kind(Kind::BarrierWait), 100);
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_rounds() {
+        let rounds = 5;
+        let r = barrier_run(4, vec![7, 11, 13, 17], rounds);
+        // Every round releases at (last arrival + 100); rounds accumulate.
+        let mut expect = 0;
+        for _ in 0..rounds {
+            expect = expect + 17 + 100;
+        }
+        for p in 0..4 {
+            assert_eq!(r.proc(ProcId::new(p)).clock, expect);
+            assert_eq!(r.proc(ProcId::new(p)).counters.get(Counter::Barriers), 5);
+        }
+    }
+
+    #[test]
+    fn single_party_barrier_costs_latency_only() {
+        let r = barrier_run(1, vec![42], 1);
+        assert_eq!(r.proc(ProcId::new(0)).clock, 142);
+    }
+}

@@ -1,0 +1,452 @@
+//! The simulation engine: global clock, event loop, and cooperative
+//! executor for per-processor target tasks.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, RawWaker, RawWakerVTable, Waker};
+
+use crate::account::{Counter, Counters, CycleMatrix, Scope};
+use crate::cpu::Cpu;
+use crate::event::{Action, EventQueue};
+use crate::report::{ProcReport, SimReport};
+use crate::time::{Cycles, ProcId};
+
+/// Engine-level configuration.
+///
+/// Machine-specific parameters (cache geometry, network latency, protocol
+/// costs) live in the machine crates; this only controls the engine itself.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Maximum distance (in cycles) a processor may run ahead of global time
+    /// before an access to *shared* state forces a re-synchronization.
+    ///
+    /// This mirrors the Wisconsin Wind Tunnel's quantum, which equals the
+    /// 100-cycle minimum network latency: within that window no other
+    /// processor's action can be observed, so local execution is safe.
+    pub quantum: Cycles,
+    /// Seed for all engine-level pseudo-randomness.
+    pub seed: u64,
+    /// Safety cap on processed events; exceeding it aborts the run.
+    pub max_events: u64,
+    /// When set, record a time-resolved profile: per processor, a
+    /// [`CycleMatrix`] per bucket of this many cycles (the raw material
+    /// for "where is time spent" timelines). `None` (the default) records
+    /// nothing and costs nothing.
+    pub profile_bucket: Option<Cycles>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            quantum: 100,
+            seed: 0x5eed_0001,
+            max_events: u64::MAX,
+            profile_bucket: None,
+        }
+    }
+}
+
+pub(crate) struct Proc {
+    pub(crate) clock: Cycles,
+    pub(crate) matrix: CycleMatrix,
+    pub(crate) counters: Counters,
+    pub(crate) scopes: Vec<Scope>,
+    pub(crate) done: bool,
+    pub(crate) profile: Vec<CycleMatrix>,
+}
+
+impl Proc {
+    fn new() -> Self {
+        Proc {
+            clock: 0,
+            matrix: CycleMatrix::new(),
+            counters: Counters::new(),
+            scopes: Vec::new(),
+            done: false,
+            profile: Vec::new(),
+        }
+    }
+}
+
+pub(crate) struct Inner {
+    pub(crate) now: Cycles,
+    pub(crate) queue: EventQueue,
+    pub(crate) procs: Vec<Proc>,
+    pub(crate) config: SimConfig,
+    pub(crate) events_processed: u64,
+}
+
+/// Shared simulator state, used through an `Rc<Sim>` by [`Cpu`] handles,
+/// machine models, and scheduled events.
+pub struct Sim {
+    pub(crate) inner: RefCell<Inner>,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Sim")
+            .field("now", &inner.now)
+            .field("pending_events", &inner.queue.len())
+            .field("procs", &inner.procs.len())
+            .finish()
+    }
+}
+
+impl Sim {
+    fn new(nprocs: usize, config: SimConfig) -> Rc<Self> {
+        Rc::new(Sim {
+            inner: RefCell::new(Inner {
+                now: 0,
+                queue: EventQueue::new(),
+                procs: (0..nprocs).map(|_| Proc::new()).collect(),
+                config,
+                events_processed: 0,
+            }),
+        })
+    }
+
+    /// Current global simulation time (the timestamp of the event being
+    /// processed).
+    pub fn now(&self) -> Cycles {
+        self.inner.borrow().now
+    }
+
+    /// Number of simulated processors.
+    pub fn nprocs(&self) -> usize {
+        self.inner.borrow().procs.len()
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> SimConfig {
+        self.inner.borrow().config
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.inner.borrow().events_processed
+    }
+
+    /// Schedules a machine-model callback at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the current global time):
+    /// causality would be violated.
+    pub fn call_at(&self, at: Cycles, f: impl FnOnce() + 'static) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            at >= inner.now,
+            "event scheduled in the past: at={at} now={}",
+            inner.now
+        );
+        inner.queue.push(at, Action::Call(Box::new(f)));
+    }
+
+    /// Schedules the task of processor `p` to be re-polled at time `at`.
+    pub fn wake_at(&self, p: ProcId, at: Cycles) {
+        let mut inner = self.inner.borrow_mut();
+        let at = at.max(inner.now);
+        inner.queue.push(at, Action::Resume(p));
+    }
+
+    /// Returns the local clock of processor `p`.
+    pub fn proc_clock(&self, p: ProcId) -> Cycles {
+        self.inner.borrow().procs[p.index()].clock
+    }
+
+    /// Snapshots every processor's (clock, cycle matrix, counters).
+    ///
+    /// Applications use this at phase boundaries (for example, between
+    /// initialization and the main loop, as the paper's EM3D tables
+    /// require) so the harness can break measurements down per phase by
+    /// subtraction.
+    pub fn snapshot(&self) -> Vec<(Cycles, CycleMatrix, Counters)> {
+        self.inner
+            .borrow()
+            .procs
+            .iter()
+            .map(|p| (p.clock, p.matrix.clone(), p.counters.clone()))
+            .collect()
+    }
+
+    /// Adds `n` to a counter of processor `p`.
+    ///
+    /// Machine models use this to attribute protocol events (for example,
+    /// coherence traffic) to a processor from inside a scheduled callback,
+    /// where no [`crate::Cpu`] handle is available.
+    pub fn count(&self, p: ProcId, counter: Counter, n: u64) {
+        self.with_proc(p, |pr| pr.counters.add(counter, n));
+    }
+
+    pub(crate) fn with_proc<R>(&self, p: ProcId, f: impl FnOnce(&mut Proc) -> R) -> R {
+        f(&mut self.inner.borrow_mut().procs[p.index()])
+    }
+}
+
+type Task = Pin<Box<dyn Future<Output = ()>>>;
+
+/// The simulation engine: owns the per-processor tasks and drives the event
+/// loop to completion.
+///
+/// Typical use: create the engine, build a machine model around
+/// [`Engine::sim`], spawn one task per processor with [`Engine::spawn`], and
+/// call [`Engine::run`].
+pub struct Engine {
+    sim: Rc<Sim>,
+    tasks: Vec<Option<Task>>,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("sim", &self.sim)
+            .field("tasks", &self.tasks.iter().filter(|t| t.is_some()).count())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine for a machine with `nprocs` processors.
+    pub fn new(nprocs: usize, config: SimConfig) -> Self {
+        assert!(nprocs > 0, "machine must have at least one processor");
+        Engine {
+            sim: Sim::new(nprocs, config),
+            tasks: (0..nprocs).map(|_| None).collect(),
+        }
+    }
+
+    /// The shared simulator state handle.
+    pub fn sim(&self) -> &Rc<Sim> {
+        &self.sim
+    }
+
+    /// Iterator over all processor ids of this machine.
+    pub fn proc_ids(&self) -> impl Iterator<Item = ProcId> {
+        (0..self.tasks.len()).map(ProcId::new)
+    }
+
+    /// Creates a [`Cpu`] handle for processor `p` to move into its task.
+    pub fn cpu(&self, p: ProcId) -> Cpu {
+        Cpu::new(Rc::clone(&self.sim), p)
+    }
+
+    /// Installs the target task for processor `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task was already spawned for `p`.
+    pub fn spawn(&mut self, p: ProcId, fut: impl Future<Output = ()> + 'static) {
+        let slot = &mut self.tasks[p.index()];
+        assert!(slot.is_none(), "task already spawned for {p}");
+        *slot = Some(Box::pin(fut));
+    }
+
+    /// Runs the simulation to completion and returns the measurement report.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock (the event queue drains while some processor task
+    /// is still blocked) or when `max_events` is exceeded.
+    pub fn run(mut self) -> SimReport {
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+
+        // Kick off every spawned task at time zero.
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.is_some() {
+                self.sim.wake_at(ProcId::new(i), 0);
+            }
+        }
+
+        loop {
+            let event = {
+                let mut inner = self.sim.inner.borrow_mut();
+                match inner.queue.pop() {
+                    Some(e) => {
+                        inner.now = e.time;
+                        inner.events_processed += 1;
+                        if inner.events_processed > inner.config.max_events {
+                            panic!(
+                                "event budget exceeded ({} events): livelock?",
+                                inner.config.max_events
+                            );
+                        }
+                        e
+                    }
+                    None => break,
+                }
+            };
+
+            match event.action {
+                Action::Resume(p) => {
+                    let i = p.index();
+                    let finished = match self.tasks[i].as_mut() {
+                        Some(task) => task.as_mut().poll(&mut cx).is_ready(),
+                        None => false,
+                    };
+                    if finished {
+                        self.tasks[i] = None;
+                        self.sim.with_proc(p, |proc| proc.done = true);
+                    }
+                }
+                Action::Call(f) => f(),
+            }
+        }
+
+        let stuck: Vec<usize> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.is_some().then_some(i))
+            .collect();
+        assert!(
+            stuck.is_empty(),
+            "deadlock: event queue empty but processors {stuck:?} are still blocked"
+        );
+
+        let inner = self.sim.inner.borrow();
+        SimReport::new(
+            inner
+                .procs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| ProcReport {
+                    id: ProcId::new(i),
+                    clock: p.clock,
+                    matrix: p.matrix.clone(),
+                    counters: p.counters.clone(),
+                    profile: p.profile.clone(),
+                })
+                .collect(),
+            inner.events_processed,
+        )
+    }
+}
+
+fn noop_waker() -> Waker {
+    const VTABLE: RawWakerVTable = RawWakerVTable::new(
+        |_| RawWaker::new(std::ptr::null(), &VTABLE),
+        |_| {},
+        |_| {},
+        |_| {},
+    );
+    // SAFETY: the vtable functions are all no-ops over a null pointer, which
+    // trivially satisfies the RawWaker contract.
+    unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::Kind;
+
+    #[test]
+    fn empty_task_finishes_at_time_zero() {
+        let mut e = Engine::new(1, SimConfig::default());
+        let cpu = e.cpu(ProcId::new(0));
+        e.spawn(ProcId::new(0), async move {
+            let _ = cpu;
+        });
+        let r = e.run();
+        assert_eq!(r.proc(ProcId::new(0)).clock, 0);
+    }
+
+    #[test]
+    fn compute_advances_local_clock_only() {
+        let mut e = Engine::new(2, SimConfig::default());
+        let c0 = e.cpu(ProcId::new(0));
+        let c1 = e.cpu(ProcId::new(1));
+        e.spawn(ProcId::new(0), async move { c0.compute(500) });
+        e.spawn(ProcId::new(1), async move { c1.compute(7) });
+        let r = e.run();
+        assert_eq!(r.proc(ProcId::new(0)).clock, 500);
+        assert_eq!(r.proc(ProcId::new(1)).clock, 7);
+    }
+
+    #[test]
+    fn resync_orders_interactions_globally() {
+        // Two processors log interaction times through resync; the log must
+        // be globally time-ordered.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let log: Rc<RefCell<Vec<(usize, Cycles)>>> = Rc::default();
+        let mut e = Engine::new(2, SimConfig::default());
+        for (i, delays) in [(0usize, [300u64, 300]), (1usize, [250, 500])] {
+            let cpu = e.cpu(ProcId::new(i));
+            let log = Rc::clone(&log);
+            e.spawn(ProcId::new(i), async move {
+                for d in delays {
+                    cpu.compute(d);
+                    cpu.resync().await;
+                    log.borrow_mut().push((i, cpu.clock()));
+                }
+            });
+        }
+        e.run();
+        let log = log.borrow();
+        assert_eq!(log.len(), 4);
+        for w in log.windows(2) {
+            assert!(w[0].1 <= w[1].1, "interactions out of order: {log:?}");
+        }
+    }
+
+    #[test]
+    fn call_at_runs_in_time_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let mut e = Engine::new(1, SimConfig::default());
+        let cpu = e.cpu(ProcId::new(0));
+        {
+            let sim = Rc::clone(e.sim());
+            let l1 = Rc::clone(&log);
+            let l2 = Rc::clone(&log);
+            sim.call_at(200, move || l1.borrow_mut().push(2));
+            sim.call_at(100, move || l2.borrow_mut().push(1));
+        }
+        e.spawn(ProcId::new(0), async move { cpu.compute(1) });
+        e.run();
+        assert_eq!(*log.borrow(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let mut e = Engine::new(1, SimConfig::default());
+        let cpu = e.cpu(ProcId::new(0));
+        let cell = crate::wait::WaitCell::new();
+        e.spawn(ProcId::new(0), async move {
+            // Nobody ever completes this cell.
+            cell.wait(&cpu, Kind::Wait).await;
+        });
+        e.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_events_are_rejected() {
+        let e = Engine::new(1, SimConfig::default());
+        let sim = Rc::clone(e.sim());
+        sim.inner.borrow_mut().now = 50;
+        sim.call_at(10, || {});
+    }
+
+    #[test]
+    fn report_counts_events() {
+        let mut e = Engine::new(1, SimConfig::default());
+        let cpu = e.cpu(ProcId::new(0));
+        e.spawn(ProcId::new(0), async move {
+            cpu.compute(10);
+            cpu.resync().await;
+            cpu.compute(10);
+            cpu.resync().await;
+        });
+        let r = e.run();
+        // 1 initial resume + 2 resync resumes.
+        assert_eq!(r.events_processed(), 3);
+    }
+}

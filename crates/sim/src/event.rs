@@ -1,0 +1,136 @@
+//! The global event queue.
+//!
+//! Events are ordered by (timestamp, sequence number); the sequence number
+//! makes processing order deterministic for simultaneous events (FIFO).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::time::{Cycles, ProcId};
+
+/// A scheduled simulator action.
+pub enum Action {
+    /// Re-poll the task of the given processor.
+    Resume(ProcId),
+    /// Run an arbitrary machine-model callback (message delivery,
+    /// directory processing, ...).
+    Call(Box<dyn FnOnce()>),
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Resume(p) => write!(f, "Resume({p})"),
+            Action::Call(_) => f.write_str("Call(..)"),
+        }
+    }
+}
+
+/// One entry in the event queue.
+#[derive(Debug)]
+pub struct Event {
+    /// When the action fires, in target cycles.
+    pub time: Cycles,
+    /// Tie-breaker for events at the same time (insertion order).
+    pub seq: u64,
+    /// What to do.
+    pub action: Action,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of [`Event`]s.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `action` at absolute time `time`.
+    pub fn push(&mut self, time: Cycles, action: Action) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, action });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Action::Resume(ProcId::new(0)));
+        q.push(10, Action::Resume(ProcId::new(1)));
+        q.push(20, Action::Resume(ProcId::new(2)));
+        let order: Vec<Cycles> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(100, Action::Resume(ProcId::new(i)));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.action {
+                Action::Resume(p) => p.index(),
+                Action::Call(_) => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, Action::Resume(ProcId::new(0)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

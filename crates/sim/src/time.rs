@@ -1,0 +1,84 @@
+//! Basic time and identity newtypes shared by the whole simulator.
+
+use std::fmt;
+
+/// A duration or instant measured in target-machine clock cycles.
+///
+/// The paper assumes a 30 ns cycle time; all costs in the simulator are
+/// expressed in cycles, never in wall-clock units.
+pub type Cycles = u64;
+
+/// Identity of a simulated processor (node) in the target machine.
+///
+/// Processor ids are dense, starting at zero. The paper's experiments all
+/// use 32 processors; the simulator supports 1–1024.
+///
+/// # Example
+///
+/// ```
+/// use wwt_sim::ProcId;
+/// let p = ProcId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(format!("{p}"), "P3");
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ProcId(u16);
+
+impl ProcId {
+    /// Creates a processor id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the maximum supported machine size (1024).
+    pub fn new(index: usize) -> Self {
+        assert!(index < 1024, "processor index {index} out of range");
+        ProcId(index as u16)
+    }
+
+    /// Returns the dense index of this processor.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for ProcId {
+    fn from(index: usize) -> Self {
+        ProcId::new(index)
+    }
+}
+
+impl From<ProcId> for usize {
+    fn from(p: ProcId) -> usize {
+        p.index()
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_id_round_trips() {
+        for i in [0usize, 1, 31, 1023] {
+            assert_eq!(ProcId::new(i).index(), i);
+            assert_eq!(usize::from(ProcId::from(i)), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn proc_id_rejects_out_of_range() {
+        let _ = ProcId::new(1024);
+    }
+
+    #[test]
+    fn proc_id_orders_by_index() {
+        assert!(ProcId::new(2) < ProcId::new(10));
+    }
+}

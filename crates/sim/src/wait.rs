@@ -1,0 +1,194 @@
+//! One-shot completion cells used to block a processor task until a
+//! machine-model event completes (a miss response, a message arrival, a
+//! barrier release, a lock grant).
+
+use std::cell::Cell;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::account::Kind;
+use crate::cpu::Cpu;
+use crate::engine::Sim;
+use crate::time::{Cycles, ProcId};
+
+#[derive(Default)]
+struct Inner {
+    completed: Cell<Option<Cycles>>,
+    waiter: Cell<Option<ProcId>>,
+}
+
+/// A one-shot completion cell.
+///
+/// A processor blocks on the cell with [`WaitCell::wait`]; a machine-model
+/// event completes it with [`WaitCell::complete`], which charges the waiting
+/// processor's stall to the cost kind it chose and wakes it at the
+/// completion time.
+///
+/// Cells are single-waiter: structures that need many waiters (barriers,
+/// message queues) keep one cell per waiter.
+#[derive(Clone, Default)]
+pub struct WaitCell {
+    inner: Rc<Inner>,
+}
+
+impl fmt::Debug for WaitCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WaitCell")
+            .field("completed", &self.inner.completed.get())
+            .field("waiter", &self.inner.waiter.get())
+            .finish()
+    }
+}
+
+impl WaitCell {
+    /// Creates a fresh, incomplete cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the cell has been completed.
+    pub fn is_complete(&self) -> bool {
+        self.inner.completed.get().is_some()
+    }
+
+    /// The completion time, if completed.
+    pub fn completion_time(&self) -> Option<Cycles> {
+        self.inner.completed.get()
+    }
+
+    /// Completes the cell at absolute time `at` and wakes the waiter (if
+    /// one is blocked) at that time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell was already completed.
+    pub fn complete(&self, sim: &Sim, at: Cycles) {
+        assert!(
+            self.inner.completed.get().is_none(),
+            "WaitCell completed twice"
+        );
+        self.inner.completed.set(Some(at));
+        if let Some(p) = self.inner.waiter.take() {
+            sim.wake_at(p, at.max(sim.now()));
+        }
+    }
+
+    /// Re-arms a completed cell for reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a waiter is still registered.
+    pub fn reset(&self) {
+        assert!(
+            self.inner.waiter.get().is_none(),
+            "cannot reset a WaitCell with a blocked waiter"
+        );
+        self.inner.completed.set(None);
+    }
+
+    /// Blocks the calling processor until the cell completes, charging the
+    /// stall (from the current local clock to the completion time) to
+    /// `kind`. Resolves to the completion time.
+    pub fn wait(&self, cpu: &Cpu, kind: Kind) -> Wait {
+        Wait {
+            cell: self.clone(),
+            cpu: cpu.clone(),
+            kind,
+        }
+    }
+}
+
+/// Future returned by [`WaitCell::wait`].
+#[derive(Debug)]
+#[must_use = "futures do nothing unless awaited"]
+pub struct Wait {
+    cell: WaitCell,
+    cpu: Cpu,
+    kind: Kind,
+}
+
+impl Future for Wait {
+    type Output = Cycles;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Cycles> {
+        match self.cell.inner.completed.get() {
+            Some(t) => {
+                self.cell.inner.waiter.set(None);
+                self.cpu.wait_until(t, self.kind);
+                Poll::Ready(t)
+            }
+            None => {
+                self.cell.inner.waiter.set(Some(self.cpu.id()));
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, SimConfig};
+
+    #[test]
+    fn wait_charges_stall_to_kind() {
+        let mut e = Engine::new(1, SimConfig::default());
+        let cpu = e.cpu(ProcId::new(0));
+        let cell = WaitCell::new();
+        {
+            let sim = Rc::clone(e.sim());
+            let cell = cell.clone();
+            let sim2 = Rc::clone(e.sim());
+            sim.call_at(250, move || cell.complete(&sim2, 250));
+        }
+        e.spawn(ProcId::new(0), async move {
+            cpu.compute(40);
+            let t = cell.wait(&cpu, Kind::Wait).await;
+            assert_eq!(t, 250);
+            assert_eq!(cpu.clock(), 250);
+        });
+        let r = e.run();
+        let p = r.proc(ProcId::new(0));
+        assert_eq!(p.matrix.by_kind(Kind::Wait), 210);
+        assert_eq!(p.matrix.by_kind(Kind::Compute), 40);
+    }
+
+    #[test]
+    fn completed_before_wait_charges_nothing_extra() {
+        let mut e = Engine::new(1, SimConfig::default());
+        let cpu = e.cpu(ProcId::new(0));
+        let cell = WaitCell::new();
+        cell.complete(e.sim(), 0);
+        e.spawn(ProcId::new(0), async move {
+            cpu.compute(500);
+            cell.wait(&cpu, Kind::Wait).await;
+            assert_eq!(cpu.clock(), 500);
+        });
+        let r = e.run();
+        assert_eq!(r.proc(ProcId::new(0)).matrix.by_kind(Kind::Wait), 0);
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let sim_engine = Engine::new(1, SimConfig::default());
+        let cell = WaitCell::new();
+        cell.complete(sim_engine.sim(), 10);
+        assert_eq!(cell.completion_time(), Some(10));
+        cell.reset();
+        assert!(!cell.is_complete());
+        cell.complete(sim_engine.sim(), 20);
+        assert_eq!(cell.completion_time(), Some(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "completed twice")]
+    fn double_complete_panics() {
+        let e = Engine::new(1, SimConfig::default());
+        let cell = WaitCell::new();
+        cell.complete(e.sim(), 1);
+        cell.complete(e.sim(), 2);
+    }
+}

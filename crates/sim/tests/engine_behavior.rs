@@ -1,0 +1,117 @@
+//! Integration tests of the engine's scheduling guarantees.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use wwt_sim::{Counter, Cpu, Engine, HwBarrier, Kind, ProcId, Scope, SimConfig};
+
+#[test]
+fn quantum_bounds_run_ahead_skew() {
+    // With resync_if_ahead, a processor's observable actions never run
+    // more than one quantum past global time.
+    let mut e = Engine::new(2, SimConfig::default());
+    let quantum = e.sim().config().quantum;
+    let log: Rc<RefCell<Vec<(u64, u64)>>> = Rc::default();
+    for p in e.proc_ids() {
+        let cpu = e.cpu(p);
+        let log = Rc::clone(&log);
+        e.spawn(p, async move {
+            for _ in 0..20 {
+                cpu.compute(377);
+                cpu.resync_if_ahead().await;
+                log.borrow_mut().push((cpu.clock(), cpu.now()));
+            }
+        });
+    }
+    e.run();
+    for &(clock, now) in log.borrow().iter() {
+        assert!(clock <= now + quantum, "skew {clock} vs {now}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "event budget exceeded")]
+fn livelock_hits_the_event_budget() {
+    let mut e = Engine::new(1, SimConfig {
+        max_events: 50,
+        ..SimConfig::default()
+    });
+    let cpu = e.cpu(ProcId::new(0));
+    e.spawn(ProcId::new(0), async move {
+        loop {
+            cpu.compute(1);
+            cpu.resync().await;
+        }
+    });
+    e.run();
+}
+
+#[test]
+fn nested_scopes_survive_awaits() {
+    let mut e = Engine::new(2, SimConfig::default());
+    let barrier = Rc::new(HwBarrier::new(2, 100));
+    for p in e.proc_ids() {
+        let cpu: Cpu = e.cpu(p);
+        let barrier = Rc::clone(&barrier);
+        e.spawn(p, async move {
+            let _lib = cpu.scope(Scope::Lib);
+            cpu.compute(10);
+            {
+                let _red = cpu.scope(Scope::Reduction);
+                // The await suspends the task while both scopes are live.
+                barrier.wait(&cpu, Kind::Wait).await;
+                cpu.compute(3);
+            }
+            cpu.compute(5);
+        });
+    }
+    let r = e.run();
+    for p in 0..2 {
+        let m = &r.proc(ProcId::new(p)).matrix;
+        assert_eq!(m.get(Scope::Lib, Kind::Compute), 15);
+        assert_eq!(m.get(Scope::Reduction, Kind::Compute), 3);
+        assert!(m.get(Scope::Reduction, Kind::Wait) > 0);
+    }
+}
+
+#[test]
+fn snapshot_reflects_midpoint_state() {
+    let mut e = Engine::new(1, SimConfig::default());
+    let cpu = e.cpu(ProcId::new(0));
+    let sim = Rc::clone(e.sim());
+    let mid: Rc<RefCell<Option<u64>>> = Rc::default();
+    let mid2 = Rc::clone(&mid);
+    e.spawn(ProcId::new(0), async move {
+        cpu.compute(100);
+        cpu.count(Counter::PacketsSent, 1);
+        *mid2.borrow_mut() = Some(sim.snapshot()[0].0);
+        cpu.compute(900);
+    });
+    let r = e.run();
+    assert_eq!(mid.borrow().unwrap(), 100);
+    assert_eq!(r.proc(ProcId::new(0)).clock, 1000);
+}
+
+#[test]
+fn call_after_never_schedules_into_the_past() {
+    // A processor whose clock lags global time (it just sat at a barrier
+    // another processor released much later) can still schedule callbacks.
+    let mut e = Engine::new(2, SimConfig::default());
+    let barrier = Rc::new(HwBarrier::new(2, 100));
+    let fired: Rc<RefCell<Vec<u64>>> = Rc::default();
+    for p in e.proc_ids() {
+        let cpu = e.cpu(p);
+        let barrier = Rc::clone(&barrier);
+        let fired = Rc::clone(&fired);
+        e.spawn(p, async move {
+            cpu.compute(if p.index() == 0 { 10 } else { 10_000 });
+            barrier.wait(&cpu, Kind::BarrierWait).await;
+            let fired = Rc::clone(&fired);
+            let now = cpu.now();
+            cpu.call_after(5, move || fired.borrow_mut().push(now));
+            cpu.resync().await;
+        });
+    }
+    e.run();
+    assert_eq!(fired.borrow().len(), 2);
+}

@@ -1,0 +1,174 @@
+//! Shared-memory machine parameters (Tables 1 and 3 of the paper).
+
+use wwt_mem::CacheGeometry;
+use wwt_sim::{Cycles, SimConfig};
+
+/// Shared-data allocation policy for `gmalloc`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AllocPolicy {
+    /// Round-robin across nodes per allocation (the paper's default; the
+    /// source of EM3D's remote-miss pathology in Table 15).
+    RoundRobin,
+    /// Allocate on the requesting node (the Table-17 variant that cuts
+    /// EM3D-SM remote misses from 97% to 10% of misses).
+    Local,
+}
+
+/// Coherence protocol variant.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProtocolMode {
+    /// Full-map write-invalidate `Dir_nNB` (the paper's machine).
+    Invalidate,
+    /// The Section 5.3.4 extension: writes push updates to sharers instead
+    /// of invalidating them, turning the 4-message producer-consumer
+    /// pattern into single update messages.
+    BulkUpdate,
+}
+
+/// Configuration of the shared-memory machine.
+///
+/// Defaults reproduce the paper's hardware tables.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SmConfig {
+    /// Engine-level settings (quantum, seed, profiling).
+    pub sim: SimConfig,
+    /// Cache geometry (Table 1; set to
+    /// [`CacheGeometry::one_megabyte`] for the Table-16 EM3D variant).
+    pub cache: CacheGeometry,
+    /// TLB entries (Table 1: 64).
+    pub tlb_entries: usize,
+    /// One-way network latency between distinct nodes (Table 1: 100).
+    pub net_latency: Cycles,
+    /// Latency of a protocol message a node sends to itself (Table 3: 10).
+    pub msg_to_self: Cycles,
+    /// Barrier latency from last arrival (Table 1: 100).
+    pub barrier_latency: Cycles,
+    /// Private cache miss cost excluding DRAM (Table 1: 11).
+    pub priv_miss: Cycles,
+    /// DRAM access (Table 1: 10).
+    pub dram: Cycles,
+    /// Processor-side cost of a shared cache miss, excluding the network
+    /// round trip and replacement (Table 3: 19).
+    pub shared_miss: Cycles,
+    /// Cache-side cost of handling an invalidation (Table 3: 3).
+    pub invalidate: Cycles,
+    /// Replacement cost of a private block (Table 3: 1).
+    pub repl_private: Cycles,
+    /// Replacement cost of a shared clean block (Table 3: 5).
+    pub repl_shared_clean: Cycles,
+    /// Replacement cost of a shared dirty block (Table 3: 13).
+    pub repl_shared_dirty: Cycles,
+    /// Directory occupancy base (Table 3: 10).
+    pub dir_base: Cycles,
+    /// Additional directory occupancy when a cache block is received
+    /// (Table 3: +8).
+    pub dir_recv_block: Cycles,
+    /// Additional directory occupancy per protocol message sent
+    /// (Table 3: +5).
+    pub dir_send_msg: Cycles,
+    /// Additional directory occupancy when a cache block is sent
+    /// (Table 3: +8).
+    pub dir_send_block: Cycles,
+    /// TLB refill cost (not specified by the paper; calibrated).
+    pub tlb_miss: Cycles,
+    /// Bytes of a protocol message without data (header only).
+    pub ctrl_msg_bytes: u64,
+    /// Data payload bytes of a block-carrying message (the block size; the
+    /// message totals `ctrl_msg_bytes + block` = 40 bytes as in Section 4).
+    pub data_msg_bytes: u64,
+    /// Allocation policy for `gmalloc`.
+    pub alloc_policy: AllocPolicy,
+    /// Coherence protocol variant.
+    pub protocol: ProtocolMode,
+    /// Enable the Stache policy (Reinhardt, Larus & Wood, cited in
+    /// Section 5.3.4): shared blocks evicted from the cache are kept in
+    /// local memory instead of returning to their home node, so re-misses
+    /// refill at local-DRAM cost and dirty evictions send no write-back
+    /// message.
+    pub stache: bool,
+    /// Instructions charged per software-reduction combine step.
+    pub reduce_combine: Cycles,
+    /// Instructions charged per lock/flag bookkeeping step.
+    pub sync_overhead: Cycles,
+}
+
+impl Default for SmConfig {
+    fn default() -> Self {
+        SmConfig {
+            sim: SimConfig::default(),
+            cache: CacheGeometry::paper_default(),
+            tlb_entries: 64,
+            net_latency: 100,
+            msg_to_self: 10,
+            barrier_latency: 100,
+            priv_miss: 11,
+            dram: 10,
+            shared_miss: 19,
+            invalidate: 3,
+            repl_private: 1,
+            repl_shared_clean: 5,
+            repl_shared_dirty: 13,
+            dir_base: 10,
+            dir_recv_block: 8,
+            dir_send_msg: 5,
+            dir_send_block: 8,
+            tlb_miss: 20,
+            ctrl_msg_bytes: 8,
+            data_msg_bytes: 32,
+            alloc_policy: AllocPolicy::RoundRobin,
+            protocol: ProtocolMode::Invalidate,
+            stache: false,
+            reduce_combine: 12,
+            sync_overhead: 10,
+        }
+    }
+}
+
+impl SmConfig {
+    /// Full cost of a private cache miss (miss handling plus DRAM).
+    pub fn priv_miss_total(&self) -> Cycles {
+        self.priv_miss + self.dram
+    }
+
+    /// One-way latency between nodes `a` and `b`.
+    pub fn latency(&self, a: usize, b: usize) -> Cycles {
+        if a == b {
+            self.msg_to_self
+        } else {
+            self.net_latency
+        }
+    }
+
+    /// Total bytes of a block-carrying protocol message.
+    pub fn block_msg_bytes(&self) -> u64 {
+        self.ctrl_msg_bytes + self.data_msg_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_table_3() {
+        let c = SmConfig::default();
+        assert_eq!(c.msg_to_self, 10);
+        assert_eq!(c.shared_miss, 19);
+        assert_eq!(c.invalidate, 3);
+        assert_eq!(c.repl_private, 1);
+        assert_eq!(c.repl_shared_clean, 5);
+        assert_eq!(c.repl_shared_dirty, 13);
+        assert_eq!(c.dir_base, 10);
+        assert_eq!(c.dir_recv_block, 8);
+        assert_eq!(c.dir_send_msg, 5);
+        assert_eq!(c.dir_send_block, 8);
+        assert_eq!(c.block_msg_bytes(), 40);
+    }
+
+    #[test]
+    fn latency_distinguishes_self_messages() {
+        let c = SmConfig::default();
+        assert_eq!(c.latency(3, 3), 10);
+        assert_eq!(c.latency(3, 4), 100);
+    }
+}

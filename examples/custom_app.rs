@@ -1,0 +1,122 @@
+//! Writing your own target programs against both machine models.
+//!
+//! This example implements the same tiny workload twice — a global sum of
+//! per-node values followed by a broadcast of the result — once with
+//! message passing (software reduction/broadcast trees over active
+//! messages) and once with shared memory (MCS-style collectives), then
+//! prints where each machine spent its cycles.
+//!
+//! ```text
+//! cargo run --release --example custom_app
+//! ```
+
+use std::rc::Rc;
+
+use wwt::mp::{MpConfig, MpMachine, TreeShape};
+use wwt::sim::{Engine, Kind, Scope, SimConfig};
+use wwt::sm::{SmCollectives, SmConfig, SmMachine};
+
+const PROCS: usize = 16;
+const ROUNDS: usize = 20;
+const WORK: u64 = 5_000;
+
+fn run_mp() -> (f64, wwt::sim::SimReport) {
+    let mut engine = Engine::new(PROCS, SimConfig::default());
+    let machine = MpMachine::new(&engine, MpConfig::default());
+    let result = Rc::new(std::cell::Cell::new(0.0f64));
+    for p in engine.proc_ids() {
+        let m = Rc::clone(&machine);
+        let cpu = engine.cpu(p);
+        let result = Rc::clone(&result);
+        engine.spawn(p, async move {
+            let mut acc = 0.0;
+            for round in 0..ROUNDS {
+                // Local work, then a global sum + broadcast.
+                cpu.compute(WORK + (p.index() as u64) * 100);
+                let mine = (p.index() + round) as f64;
+                let sum = m
+                    .reduce_sum_f64(&cpu, TreeShape::Lopsided, 0, mine)
+                    .await
+                    .unwrap_or(0.0);
+                acc = m.bcast_f64(&cpu, TreeShape::Lopsided, 0, sum).await;
+            }
+            m.barrier(&cpu).await;
+            if p.index() == 0 {
+                result.set(acc);
+            }
+        });
+    }
+    let report = engine.run();
+    (result.get(), report)
+}
+
+fn run_sm() -> (f64, wwt::sim::SimReport) {
+    let mut engine = Engine::new(PROCS, SimConfig::default());
+    let machine = SmMachine::new(&engine, SmConfig::default());
+    let coll = Rc::new(SmCollectives::new(&machine));
+    let result = Rc::new(std::cell::Cell::new(0.0f64));
+    for p in engine.proc_ids() {
+        let m = Rc::clone(&machine);
+        let coll = Rc::clone(&coll);
+        let cpu = engine.cpu(p);
+        let result = Rc::clone(&result);
+        engine.spawn(p, async move {
+            let mut acc = 0.0;
+            for round in 0..ROUNDS {
+                cpu.compute(WORK + (p.index() as u64) * 100);
+                let mine = (p.index() + round) as f64;
+                let sum = coll
+                    .reduce_sum_f64(&m, &cpu, mine)
+                    .await
+                    .unwrap_or(0.0);
+                acc = coll.bcast_f64(&m, &cpu, 0, sum).await;
+            }
+            m.barrier(&cpu).await;
+            if p.index() == 0 {
+                result.set(acc);
+            }
+        });
+    }
+    let report = engine.run();
+    (result.get(), report)
+}
+
+fn main() {
+    let (v_mp, r_mp) = run_mp();
+    let (v_sm, r_sm) = run_sm();
+    assert_eq!(v_mp, v_sm, "both machines compute the same global sums");
+    println!("final broadcast value on both machines: {v_mp}\n");
+
+    let expect: f64 = (0..PROCS).map(|p| (p + ROUNDS - 1) as f64).sum();
+    assert_eq!(v_mp, expect);
+
+    println!("{:<34} {:>14} {:>14}", "", "message passing", "shared memory");
+    println!(
+        "{:<34} {:>14} {:>14}",
+        "elapsed (cycles)",
+        r_mp.elapsed(),
+        r_sm.elapsed()
+    );
+    type RowFn = Box<dyn Fn(&wwt::sim::SimReport) -> u64>;
+    let rows: [(&str, RowFn); 4] = [
+        ("computation", Box::new(|r| r.avg_matrix().get(Scope::App, Kind::Compute))),
+        ("collectives (reduce+bcast)", Box::new(|r| {
+            let m = r.avg_matrix();
+            m.by_scope(Scope::Reduction) + m.by_scope(Scope::Broadcast)
+        })),
+        ("network interface access", Box::new(|r| r.avg_matrix().by_kind(Kind::NetAccess))),
+        ("shared-memory misses", Box::new(|r| {
+            let m = r.avg_matrix();
+            m.by_kind(Kind::ShMissLocal) + m.by_kind(Kind::ShMissRemote) + m.by_kind(Kind::WriteFault)
+        })),
+    ];
+    for (label, f) in rows {
+        println!("{label:<34} {:>14} {:>14}", f(&r_mp), f(&r_sm));
+    }
+    println!(
+        "\nThe message-passing collectives pay software send/receive\n\
+         overhead per tree edge; the shared-memory ones pay coherence\n\
+         misses per flag and value. At this scale neither dominates —\n\
+         the paper's central observation."
+    );
+}

@@ -1,0 +1,105 @@
+//! The EM3D design-space study (Sections 5.3.3–5.3.4 of the paper):
+//! how cache size, allocation policy, and coherence protocol change the
+//! shared-memory version's standing against message passing.
+//!
+//! ```text
+//! cargo run --release --example em3d_protocol_study
+//! ```
+
+use wwt::apps::em3d::{self, Em3dParams};
+use wwt::mem::CacheGeometry;
+use wwt::mp::MpConfig;
+use wwt::sim::{Counter, Kind};
+use wwt::sm::{AllocPolicy, ProtocolMode, SmConfig};
+
+fn main() {
+    // A mid-size workload: big enough for capacity effects, small enough
+    // to run all five configurations in a few seconds.
+    let p = Em3dParams {
+        e_per_proc: 250,
+        h_per_proc: 250,
+        degree: 8,
+        remote_pct: 20,
+        span: 1,
+        iters: 10,
+        procs: 8,
+        ..Em3dParams::default()
+    };
+    // A small cache makes the capacity-miss story visible at this scale,
+    // as the paper's 256 KB cache did for its 1000-node workload.
+    let small_cache = CacheGeometry {
+        size_bytes: 16 * 1024,
+        ways: 4,
+        block_bytes: 32,
+    };
+
+    println!("EM3D, {} nodes/side/proc, {} procs, {} iterations\n", p.e_per_proc, p.procs, p.iters);
+    println!(
+        "{:<44} {:>12} {:>10} {:>10}",
+        "configuration", "elapsed", "remote%", "wr-faults"
+    );
+
+    let mp = em3d::mp::run(&p, MpConfig::default());
+    assert!(mp.validation.passed);
+    println!(
+        "{:<44} {:>12} {:>10} {:>10}",
+        "message passing (ghost nodes + channels)",
+        mp.report.elapsed(),
+        "-",
+        "-"
+    );
+
+    let configs = [
+        (
+            "SM, round-robin allocation (paper default)",
+            SmConfig {
+                cache: small_cache,
+                ..SmConfig::default()
+            },
+        ),
+        (
+            "SM, 4x larger cache (Table 16)",
+            SmConfig::default(),
+        ),
+        (
+            "SM, local allocation (Table 17)",
+            SmConfig {
+                cache: small_cache,
+                alloc_policy: AllocPolicy::Local,
+                ..SmConfig::default()
+            },
+        ),
+        (
+            "SM, bulk-update protocol (Section 5.3.4)",
+            SmConfig {
+                cache: small_cache,
+                protocol: ProtocolMode::BulkUpdate,
+                ..SmConfig::default()
+            },
+        ),
+    ];
+    for (label, cfg) in configs {
+        let r = em3d::sm::run(&p, cfg);
+        assert!(r.validation.passed, "{label}: {}", r.validation.detail);
+        let rem = r.report.total_counter(Counter::ShMissesRemote) as f64;
+        let loc = r.report.total_counter(Counter::ShMissesLocal) as f64;
+        println!(
+            "{:<44} {:>12} {:>9.0}% {:>10}",
+            label,
+            r.report.elapsed(),
+            100.0 * rem / (rem + loc).max(1.0),
+            r.report.total_counter(Counter::WriteFaults),
+        );
+        // All variants compute identical values.
+        assert_eq!(r.artifact, mp.artifact);
+        let _ = Kind::Compute;
+    }
+
+    println!(
+        "\nEvery configuration computes bit-identical field values; only\n\
+         the time and traffic change. The paper's conclusions: the\n\
+         invalidation protocol is an expensive way to move producer-\n\
+         consumer data, and both a larger cache and locality-aware\n\
+         allocation recover much of the gap without touching the program."
+    );
+}

@@ -1,0 +1,34 @@
+//! # WWT: paired simulators for message passing vs. shared memory
+//!
+//! A from-scratch Rust reproduction of
+//! *"Where is Time Spent in Message-Passing and Shared-Memory Programs?"*
+//! (Chandra, Larus, Rogers — ASPLOS VI, 1994).
+//!
+//! The crate provides:
+//!
+//! * a deterministic discrete-event simulation engine
+//!   ([`sim`]) in which target programs are async tasks,
+//! * a CM-5-like **message-passing machine** ([`mp`]): memory-mapped
+//!   network interface, active messages, CMMD-style channels, and
+//!   software collective trees,
+//! * a **Dir_nNB cache-coherent shared-memory machine** ([`sm`]):
+//!   full-map write-invalidate directory protocol with directory
+//!   occupancy, MCS locks, and a parmacs-style layer,
+//! * the paper's four tuned application pairs ([`apps`]): MSE, Gauss,
+//!   EM3D, and LCP/ALCP,
+//! * an experiment registry and reporting layer that regenerates every
+//!   table of the paper's evaluation ([`run_experiment`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use wwt::{run_experiment, Experiment, Scale};
+//!
+//! let out = run_experiment(Experiment::GaussMp, Scale::Test);
+//! assert!(out.run.validation.passed);
+//! println!("{}", out.tables[0]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use wwt_core::*;

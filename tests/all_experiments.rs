@@ -1,0 +1,49 @@
+//! Every registered experiment runs and self-validates at test scale.
+
+use wwt::{run_experiment, Experiment, Scale};
+
+#[test]
+fn every_experiment_validates_at_test_scale() {
+    for e in Experiment::ALL {
+        let out = run_experiment(e, Scale::Test);
+        assert!(
+            out.run.validation.passed,
+            "{e}: {}",
+            out.run.validation.detail
+        );
+        assert!(!out.tables.is_empty() || !out.events.is_empty(), "{e}: no output");
+        for t in &out.tables {
+            assert!(t.total > 0.0, "{e}: empty table {}", t.title);
+            // Top-level rows cover the total.
+            let top: f64 = t
+                .rows
+                .iter()
+                .filter(|r| r.indent == 0)
+                .map(|r| r.cycles)
+                .sum();
+            assert!(
+                (top - t.total).abs() / t.total < 1e-9,
+                "{e}: rows of '{}' sum to {top}, total {}",
+                t.title,
+                t.total
+            );
+        }
+        for (label, extra) in &out.extra_runs {
+            assert!(extra.validation.passed, "{e}/{label}: {}", extra.validation.detail);
+        }
+    }
+}
+
+#[test]
+fn experiment_output_is_renderable() {
+    let out = run_experiment(Experiment::Em3dSm, Scale::Test);
+    for t in &out.tables {
+        let s = t.to_string();
+        assert!(s.contains("Total"));
+        let md = t.to_markdown();
+        assert!(md.starts_with("**"));
+    }
+    for ev in &out.events {
+        assert!(!ev.to_string().is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Cross-machine equivalence: the message-passing and shared-memory
+//! versions of each program run the same algorithm on the same workload,
+//! so where the arithmetic order is identical the results must agree
+//! bitwise — the property that made the paper's pairs comparable.
+
+use wwt::apps::{em3d, gauss, lcp, mse};
+use wwt::mp::{MpConfig, TreeShape};
+use wwt::sim::{Kind, Scope};
+use wwt::sm::SmConfig;
+
+#[test]
+fn gauss_pair_is_bitwise_identical() {
+    let p = gauss::GaussParams::small();
+    let mp = gauss::mp::run(&p, MpConfig::default(), TreeShape::Lopsided);
+    let sm = gauss::sm::run(&p, SmConfig::default());
+    assert!(mp.validation.passed && sm.validation.passed);
+    assert_eq!(mp.artifact, sm.artifact);
+}
+
+#[test]
+fn em3d_pair_is_bitwise_identical() {
+    let p = em3d::Em3dParams::small();
+    let mp = em3d::mp::run(&p, MpConfig::default());
+    let sm = em3d::sm::run(&p, SmConfig::default());
+    assert!(mp.validation.passed && sm.validation.passed);
+    assert_eq!(mp.artifact, sm.artifact);
+}
+
+#[test]
+fn lcp_sync_pair_takes_the_same_trajectory() {
+    let p = lcp::LcpParams::small();
+    let mp = lcp::mp::run(&p, MpConfig::default(), lcp::LcpMode::Synchronous);
+    let sm = lcp::sm::run(&p, SmConfig::default(), lcp::LcpMode::Synchronous);
+    assert_eq!(mp.stat("steps"), sm.stat("steps"));
+    assert_eq!(mp.artifact, sm.artifact);
+}
+
+#[test]
+fn mse_pair_agrees_within_schedule_staleness() {
+    let p = mse::MseParams::small();
+    let mp = mse::mp::run(&p, MpConfig::default());
+    let sm = mse::sm::run(&p, SmConfig::default());
+    assert!(mp.validation.passed && sm.validation.passed);
+    let diff = mp
+        .artifact
+        .iter()
+        .zip(&sm.artifact)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(diff < 0.1, "solutions diverge beyond staleness: {diff}");
+}
+
+#[test]
+fn computation_time_is_nearly_equal_within_each_pair() {
+    // The paper's headline methodological result: despite vastly different
+    // communication, both versions of a program spend almost the same time
+    // computing.
+    let checks: Vec<(&str, u64, u64)> = vec![
+        {
+            let p = gauss::GaussParams::small();
+            let mp = gauss::mp::run(&p, MpConfig::default(), TreeShape::Lopsided);
+            let sm = gauss::sm::run(&p, SmConfig::default());
+            ("gauss", comp(&mp), comp(&sm))
+        },
+        {
+            let p = em3d::Em3dParams::small();
+            let mp = em3d::mp::run(&p, MpConfig::default());
+            let sm = em3d::sm::run(&p, SmConfig::default());
+            ("em3d", comp(&mp), comp(&sm))
+        },
+        {
+            let p = lcp::LcpParams::small();
+            let mp = lcp::mp::run(&p, MpConfig::default(), lcp::LcpMode::Synchronous);
+            let sm = lcp::sm::run(&p, SmConfig::default(), lcp::LcpMode::Synchronous);
+            ("lcp", comp(&mp), comp(&sm))
+        },
+    ];
+    for (name, c_mp, c_sm) in checks {
+        let rel = (c_mp as f64 - c_sm as f64).abs() / (c_mp.max(c_sm) as f64);
+        assert!(
+            rel < 0.15,
+            "{name}: computation differs {rel:.2}: mp {c_mp} sm {c_sm}"
+        );
+    }
+}
+
+fn comp(run: &wwt::apps::AppRun) -> u64 {
+    run.report.avg_matrix().get(Scope::App, Kind::Compute)
+}
+
+#[test]
+fn no_machine_mixes_mechanisms() {
+    use wwt::sim::Counter;
+    let p = gauss::GaussParams::small();
+    let mp = gauss::mp::run(&p, MpConfig::default(), TreeShape::Lopsided);
+    let sm = gauss::sm::run(&p, SmConfig::default());
+    // The MP machine never takes shared misses; the SM machine never
+    // sends packets.
+    assert_eq!(mp.report.total_counter(Counter::ShMissesRemote), 0);
+    assert_eq!(mp.report.total_counter(Counter::WriteFaults), 0);
+    assert_eq!(sm.report.total_counter(Counter::PacketsSent), 0);
+    assert_eq!(sm.report.total_counter(Counter::ActiveMessages), 0);
+}

@@ -1,0 +1,47 @@
+//! The engine is a deterministic discrete-event simulator: the same
+//! program and seed must produce bit-identical measurements — the
+//! property the Wisconsin Wind Tunnel relied on for reproducible
+//! experiments.
+
+use wwt::sim::Counter;
+use wwt::{run_experiment, Experiment, Scale};
+
+fn fingerprint(e: Experiment) -> (u64, u64, u64, String) {
+    let out = run_experiment(e, Scale::Test);
+    let r = &out.run.report;
+    (
+        r.elapsed(),
+        r.events_processed(),
+        r.total_counter(Counter::BytesData) + r.total_counter(Counter::BytesControl),
+        out.run.validation.detail.clone(),
+    )
+}
+
+#[test]
+fn every_experiment_is_reproducible() {
+    for e in [
+        Experiment::MseMp,
+        Experiment::MseSm,
+        Experiment::GaussMp,
+        Experiment::GaussSm,
+        Experiment::Em3dMp,
+        Experiment::Em3dSm,
+        Experiment::LcpMp,
+        Experiment::LcpSm,
+        Experiment::AlcpMp,
+        Experiment::AlcpSm,
+    ] {
+        assert_eq!(fingerprint(e), fingerprint(e), "{e} not reproducible");
+    }
+}
+
+#[test]
+fn per_processor_breakdowns_are_reproducible() {
+    let a = run_experiment(Experiment::Em3dSm, Scale::Test);
+    let b = run_experiment(Experiment::Em3dSm, Scale::Test);
+    for (pa, pb) in a.run.report.procs().zip(b.run.report.procs()) {
+        assert_eq!(pa.clock, pb.clock);
+        assert_eq!(pa.matrix, pb.matrix);
+        assert_eq!(pa.counters, pb.counters);
+    }
+}

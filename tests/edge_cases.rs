@@ -1,0 +1,133 @@
+//! Edge cases of the application pairs: odd machine sizes, single
+//! processors, and invalid-parameter rejection.
+
+use wwt::apps::{em3d, gauss, lcp};
+use wwt::mp::{MpConfig, TreeShape};
+use wwt::sm::SmConfig;
+
+#[test]
+fn gauss_works_on_odd_machine_sizes() {
+    for procs in [1usize, 3, 5, 7] {
+        let p = gauss::GaussParams {
+            n: 20,
+            procs,
+            ..gauss::GaussParams::small()
+        };
+        for shape in [TreeShape::Binary, TreeShape::Lopsided] {
+            let r = gauss::mp::run(&p, MpConfig::default(), shape);
+            assert!(r.validation.passed, "procs={procs} {shape:?}: {}", r.validation.detail);
+        }
+        let r = gauss::sm::run(&p, SmConfig::default());
+        assert!(r.validation.passed, "procs={procs} sm: {}", r.validation.detail);
+    }
+}
+
+#[test]
+fn gauss_handles_more_processors_than_spare_rows() {
+    // 10 rows over 8 processors: some own 2 rows, some 1.
+    let p = gauss::GaussParams {
+        n: 10,
+        procs: 8,
+        ..gauss::GaussParams::small()
+    };
+    let r = gauss::mp::run(&p, MpConfig::default(), TreeShape::Lopsided);
+    assert!(r.validation.passed, "{}", r.validation.detail);
+}
+
+#[test]
+fn em3d_runs_on_a_single_processor() {
+    let p = em3d::Em3dParams {
+        procs: 1,
+        ..em3d::Em3dParams::small()
+    };
+    let mp = em3d::mp::run(&p, MpConfig::default());
+    let sm = em3d::sm::run(&p, SmConfig::default());
+    assert!(mp.validation.passed && sm.validation.passed);
+    // No remote edges exist on a 1-node machine.
+    assert_eq!(mp.report.total_counter(wwt::sim::Counter::ChannelWrites), 0);
+}
+
+#[test]
+fn em3d_all_remote_edges() {
+    let p = em3d::Em3dParams {
+        remote_pct: 100,
+        ..em3d::Em3dParams::small()
+    };
+    let mp = em3d::mp::run(&p, MpConfig::default());
+    let sm = em3d::sm::run(&p, SmConfig::default());
+    assert!(mp.validation.passed && sm.validation.passed);
+    assert_eq!(mp.artifact, sm.artifact);
+}
+
+#[test]
+fn em3d_no_remote_edges() {
+    let p = em3d::Em3dParams {
+        remote_pct: 0,
+        ..em3d::Em3dParams::small()
+    };
+    let mp = em3d::mp::run(&p, MpConfig::default());
+    assert!(mp.validation.passed);
+    assert_eq!(mp.report.total_counter(wwt::sim::Counter::PacketsSent), 0);
+}
+
+#[test]
+#[should_panic(expected = "power-of-two")]
+fn lcp_mp_rejects_non_power_of_two_machines() {
+    let p = lcp::LcpParams {
+        procs: 6,
+        n: 252,
+        ..lcp::LcpParams::small()
+    };
+    let _ = lcp::mp::run(&p, MpConfig::default(), lcp::LcpMode::Synchronous);
+}
+
+#[test]
+#[should_panic(expected = "divide evenly")]
+fn lcp_rejects_indivisible_row_counts() {
+    let p = lcp::LcpParams {
+        procs: 4,
+        n: 255,
+        ..lcp::LcpParams::small()
+    };
+    let _ = lcp::sm::run(&p, SmConfig::default(), lcp::LcpMode::Synchronous);
+}
+
+#[test]
+fn lcp_single_processor_degenerates_to_sequential_sor() {
+    let p = lcp::LcpParams {
+        procs: 1,
+        ..lcp::LcpParams::small()
+    };
+    let mp = lcp::mp::run(&p, MpConfig::default(), lcp::LcpMode::Synchronous);
+    let sm = lcp::sm::run(&p, SmConfig::default(), lcp::LcpMode::Synchronous);
+    assert!(mp.validation.passed && sm.validation.passed);
+    assert_eq!(mp.artifact, sm.artifact);
+}
+
+#[test]
+#[should_panic(expected = "divide evenly")]
+fn mse_rejects_indivisible_body_counts() {
+    let p = wwt::apps::mse::MseParams {
+        bodies: 9,
+        grid: 3,
+        procs: 4,
+        elems: 2,
+        ..wwt::apps::mse::MseParams::small()
+    };
+    let _ = wwt::apps::mse::mp::run(&p, MpConfig::default());
+}
+
+#[test]
+fn imbalance_metric_reflects_unbalanced_init() {
+    // MSE-SM's node-0-heavy initialization shows up in the report's
+    // imbalance measure... after the final barrier everyone ends together,
+    // so the metric is near zero — the imbalance was absorbed as waiting.
+    let p = wwt::apps::mse::MseParams::small();
+    let r = wwt::apps::mse::sm::run(&p, SmConfig::default());
+    assert!(r.report.imbalance() < 0.01, "barrier equalizes final clocks");
+    assert!(
+        r.report.wait_fraction() > 0.02,
+        "the imbalance must re-appear as waiting: {}",
+        r.report.wait_fraction()
+    );
+}

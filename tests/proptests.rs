@@ -1,0 +1,184 @@
+//! Property-based tests over the simulator substrates.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+
+use wwt::mem::{AccessKind, Cache, CacheGeometry, GAddr, Segment, Tlb};
+use wwt::mp::TreeShape;
+use wwt::sim::{Engine, HwBarrier, Kind, ProcId, SimConfig};
+
+proptest! {
+    /// A cache never holds more lines than its capacity, never aliases
+    /// distinct blocks, and hits everything it just inserted in an
+    /// access sequence shorter than its associativity per set.
+    #[test]
+    fn cache_capacity_and_lookup(blocks in proptest::collection::vec(0u64..2048, 1..200)) {
+        let geom = CacheGeometry { size_bytes: 4096, ways: 4, block_bytes: 32 };
+        let mut c = Cache::new(geom, 42);
+        for &b in &blocks {
+            let block = b * 32;
+            c.access(block, AccessKind::Read);
+            // Immediately after an access the block must be resident.
+            prop_assert!(c.state_of(block).is_some());
+        }
+        prop_assert!(c.resident_blocks() <= (geom.size_bytes / geom.block_bytes) as usize);
+        // Every resident tag must be one of the accessed blocks.
+        for (tag, _) in c.resident() {
+            prop_assert!(blocks.contains(&(tag / 32)));
+        }
+    }
+
+    /// Invalidation removes exactly the requested block.
+    #[test]
+    fn cache_invalidate_is_precise(blocks in proptest::collection::vec(0u64..64, 1..40), victim in 0u64..64) {
+        let mut c = Cache::new(CacheGeometry { size_bytes: 4096, ways: 4, block_bytes: 32 }, 7);
+        for &b in &blocks {
+            c.access(b * 32, AccessKind::Write);
+        }
+        let before = c.resident_blocks();
+        let was = c.state_of(victim * 32).is_some();
+        c.invalidate(victim * 32);
+        prop_assert_eq!(c.state_of(victim * 32), None);
+        prop_assert_eq!(c.resident_blocks(), before - usize::from(was));
+    }
+
+    /// The TLB behaves as a FIFO of bounded size over any access string.
+    #[test]
+    fn tlb_is_bounded_fifo(pages in proptest::collection::vec(0u64..50, 1..300)) {
+        let mut t = Tlb::new(8);
+        let mut model: Vec<u64> = Vec::new();
+        for &p in &pages {
+            let page = p << 12;
+            let hit = t.access(page);
+            prop_assert_eq!(hit, model.contains(&page), "page {}", p);
+            if !hit {
+                if model.len() == 8 {
+                    model.remove(0);
+                }
+                model.push(page);
+            }
+        }
+        prop_assert_eq!(t.resident(), model.len());
+    }
+
+    /// Global addresses round-trip through their raw encoding.
+    #[test]
+    fn gaddr_raw_round_trips(node in 0usize..1024, off in 0u64..(1 << 40), shared: bool) {
+        let seg = if shared { Segment::Shared } else { Segment::Private };
+        let a = GAddr::new(seg, node, off);
+        let b = GAddr::from_raw(a.raw());
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(b.node(), node);
+        prop_assert_eq!(b.offset(), off);
+        prop_assert_eq!(b.segment(), seg);
+    }
+
+    /// Every tree shape spans all ranks exactly once, for any machine
+    /// size and any root relabeling.
+    #[test]
+    fn tree_shapes_span_all_ranks(n in 1usize..130) {
+        for shape in [TreeShape::Flat, TreeShape::Binary, TreeShape::Lopsided] {
+            let mut reached = vec![false; n];
+            reached[0] = true;
+            let mut frontier = vec![0usize];
+            while let Some(v) = frontier.pop() {
+                for c in shape.children(v, n) {
+                    prop_assert!(!reached[c]);
+                    reached[c] = true;
+                    frontier.push(c);
+                }
+            }
+            prop_assert!(reached.iter().all(|&r| r));
+        }
+    }
+
+    /// The hardware barrier releases everyone at (last arrival + latency),
+    /// for arbitrary work distributions and multiple rounds.
+    #[test]
+    fn barrier_release_rule(work in proptest::collection::vec(0u64..10_000, 2..12), rounds in 1usize..4) {
+        let n = work.len();
+        let mut engine = Engine::new(n, SimConfig::default());
+        let barrier = Rc::new(HwBarrier::new(n, 100));
+        for p in engine.proc_ids() {
+            let cpu = engine.cpu(p);
+            let barrier = Rc::clone(&barrier);
+            let w = work[p.index()];
+            engine.spawn(p, async move {
+                for _ in 0..rounds {
+                    cpu.compute(w);
+                    barrier.wait(&cpu, Kind::BarrierWait).await;
+                }
+            });
+        }
+        let report = engine.run();
+        let max_work = *work.iter().max().unwrap();
+        let expect = (max_work + 100) * rounds as u64;
+        for i in 0..n {
+            prop_assert_eq!(report.proc(ProcId::new(i)).clock, expect);
+        }
+    }
+
+    /// Cycle accounting is conservative: the per-processor total equals
+    /// the final clock for any charge sequence.
+    #[test]
+    fn charges_sum_to_clock(charges in proptest::collection::vec((0usize..10, 0u64..1000), 1..50)) {
+        let mut engine = Engine::new(1, SimConfig::default());
+        let cpu = engine.cpu(ProcId::new(0));
+        let seq = charges.clone();
+        engine.spawn(ProcId::new(0), async move {
+            for (k, c) in seq {
+                cpu.charge(Kind::ALL[k], c);
+            }
+        });
+        let r = engine.run();
+        let p = r.proc(ProcId::new(0));
+        prop_assert_eq!(p.matrix.total(), p.clock);
+    }
+}
+
+/// Shared-memory coherence invariants hold after random access patterns
+/// from every node (this drives the full directory protocol, including
+/// evictions, upgrades, and 4-hop recalls).
+#[test]
+fn sm_coherence_invariants_under_random_traffic() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use wwt::sm::{SmConfig, SmMachine};
+
+    for seed in [1u64, 7, 1234] {
+        let n = 6;
+        let mut engine = Engine::new(n, SimConfig::default());
+        // A tiny cache forces heavy eviction traffic.
+        let cfg = SmConfig {
+            cache: CacheGeometry {
+                size_bytes: 1024,
+                ways: 2,
+                block_bytes: 32,
+            },
+            ..SmConfig::default()
+        };
+        let m = SmMachine::new(&engine, cfg);
+        let region: Vec<GAddr> = (0..n).map(|q| m.gmalloc_on(q, 512, 32)).collect();
+        for p in engine.proc_ids() {
+            let m = Rc::clone(&m);
+            let cpu = engine.cpu(p);
+            let region = region.clone();
+            engine.spawn(p, async move {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (p.index() as u64) << 8);
+                for _ in 0..400 {
+                    let target = region[rng.gen_range(0..region.len())]
+                        .offset_by(rng.gen_range(0..64) * 8);
+                    if rng.gen_bool(0.4) {
+                        m.write_u64(&cpu, target, rng.gen()).await;
+                    } else {
+                        m.read_u64(&cpu, target).await;
+                    }
+                }
+                m.barrier(&cpu).await;
+            });
+        }
+        engine.run();
+        let violations = m.coherence_violations();
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+    }
+}
