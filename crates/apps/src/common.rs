@@ -115,10 +115,7 @@ pub struct AppRun {
 impl AppRun {
     /// Looks up a named statistic.
     pub fn stat(&self, name: &str) -> Option<f64> {
-        self.stats
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, v)| v)
+        self.stats.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
     /// The phase snapshot with the given name, if recorded.

@@ -119,11 +119,10 @@ pub fn run(p: &Em3dParams, mcfg: MpConfig) -> AppRun {
             let e_vals = m.alloc(proc, (p.e_per_proc * 8) as u64, 32);
             let h_vals = m.alloc(proc, (p.h_per_proc * 8) as u64, 32);
             val_offs.borrow_mut()[me] = (e_vals, h_vals);
-            let ghost_len =
-                |q: usize, side: Side| match side {
-                    Side::E => plans[q].send_e[me].len(),
-                    Side::H => plans[q].send_h[me].len(),
-                };
+            let ghost_len = |q: usize, side: Side| match side {
+                Side::E => plans[q].send_e[me].len(),
+                Side::H => plans[q].send_h[me].len(),
+            };
             let mut ghost_e = vec![0u64; np];
             let mut ghost_h = vec![0u64; np];
             for q in 0..np {
@@ -145,9 +144,7 @@ pub fn run(p: &Em3dParams, mcfg: MpConfig) -> AppRun {
                 buf_h[q] = m.alloc(proc, (plan.send_h[q].len() * 8).max(8) as u64, 32);
             }
             // Init-phase edge-info scratch.
-            let in_info_len: Vec<usize> = (0..np)
-                .map(|q| plans[q].send_info[me].len())
-                .collect();
+            let in_info_len: Vec<usize> = (0..np).map(|q| plans[q].send_info[me].len()).collect();
             let info_scratch = m.alloc(
                 proc,
                 (in_info_len.iter().max().copied().unwrap_or(0) as u64 * INFO_BYTES).max(16),
@@ -236,7 +233,12 @@ pub fn run(p: &Em3dParams, mcfg: MpConfig) -> AppRun {
                     }
                     m.touch_write(&cpu, info_scratch, recs.len() as u64 * INFO_BYTES);
                     cpu.compute(8 * recs.len() as u64);
-                    m.channel_write(&cpu, ch, info_scratch, (recs.len() as u64 * INFO_BYTES) as u32);
+                    m.channel_write(
+                        &cpu,
+                        ch,
+                        info_scratch,
+                        (recs.len() as u64 * INFO_BYTES) as u32,
+                    );
                 }
             }
             // Receive edge info and build the in-edge stream arrays
@@ -427,7 +429,11 @@ mod tests {
         let r = run(&p, MpConfig::default());
         assert!(r.validation.passed, "{}", r.validation.detail);
         // Same in-edge order as the reference: the error is exactly zero.
-        assert!(r.validation.detail.contains("0.000e0"), "{}", r.validation.detail);
+        assert!(
+            r.validation.detail.contains("0.000e0"),
+            "{}",
+            r.validation.detail
+        );
     }
 
     #[test]
@@ -450,7 +456,10 @@ mod tests {
         assert!(writes > 0.0);
         let data = r.report.total_counter(Counter::BytesData);
         let ctrl = r.report.total_counter(Counter::BytesControl);
-        assert!(data > ctrl, "bulk transfers are data-dominated: {data} vs {ctrl}");
+        assert!(
+            data > ctrl,
+            "bulk transfers are data-dominated: {data} vs {ctrl}"
+        );
         // No locks exist in the message-passing version.
         assert_eq!(r.report.total_counter(Counter::LockAcquires), 0);
         assert_eq!(r.report.avg_matrix().by_kind(Kind::LockWait), 0);
@@ -468,8 +477,7 @@ mod tests {
         let r = run(&p, MpConfig::default());
         // Each processor talks only to its 2 neighbors: per iteration at
         // most 4 data channel-writes (2 sides x 2 neighbors).
-        let per_iter = (r.report.avg_counter(Counter::ChannelWrites)
-            - 3.0 /* init edge-info + priming, roughly */)
+        let per_iter = (r.report.avg_counter(Counter::ChannelWrites) - 3.0/* init edge-info + priming, roughly */)
             / p.iters as f64;
         assert!(per_iter <= 5.0, "channel writes per iteration: {per_iter}");
     }

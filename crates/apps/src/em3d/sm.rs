@@ -165,8 +165,10 @@ pub fn run(p: &Em3dParams, scfg: SmConfig) -> AppRun {
             for (i, &v) in g.h0[me].iter().enumerate() {
                 m.poke_f64(a.h_vals.offset_by((i * 8) as u64), v);
             }
-            m.touch_write(&cpu, a.e_vals, (p.e_per_proc * 8) as u64).await;
-            m.touch_write(&cpu, a.h_vals, (p.h_per_proc * 8) as u64).await;
+            m.touch_write(&cpu, a.e_vals, (p.e_per_proc * 8) as u64)
+                .await;
+            m.touch_write(&cpu, a.h_vals, (p.h_per_proc * 8) as u64)
+                .await;
             cpu.compute(20 * (p.e_per_proc + p.h_per_proc) as u64 * p.degree as u64);
 
             // Pass 1: increment in-degree counts at the sinks (remote
@@ -286,7 +288,8 @@ pub fn run(p: &Em3dParams, scfg: SmConfig) -> AppRun {
                         m.flush(&cpu, *b, 32).await;
                     }
                 }
-                m.bulk_publish(&cpu, a.e_vals, (p.e_per_proc * 8) as u64).await;
+                m.bulk_publish(&cpu, a.e_vals, (p.e_per_proc * 8) as u64)
+                    .await;
                 m.barrier(&cpu).await;
                 if p.hint == Em3dHint::Prefetch {
                     for b in &remote_e {
@@ -299,7 +302,8 @@ pub fn run(p: &Em3dParams, scfg: SmConfig) -> AppRun {
                         m.flush(&cpu, *b, 32).await;
                     }
                 }
-                m.bulk_publish(&cpu, a.h_vals, (p.h_per_proc * 8) as u64).await;
+                m.bulk_publish(&cpu, a.h_vals, (p.h_per_proc * 8) as u64)
+                    .await;
                 m.barrier(&cpu).await;
             }
             if me == 0 {
@@ -347,8 +351,12 @@ async fn half_step(
             // Stream the weight and pointer arrays for this node.
             m.touch_read(cpu, w_arr.offset_by((cursor * 8) as u64), (deg * 8) as u64)
                 .await;
-            m.touch_read(cpu, ptr_arr.offset_by((cursor * 8) as u64), (deg * 8) as u64)
-                .await;
+            m.touch_read(
+                cpu,
+                ptr_arr.offset_by((cursor * 8) as u64),
+                (deg * 8) as u64,
+            )
+            .await;
         }
         let mut acc = 0.0;
         for k in 0..deg {
@@ -369,17 +377,21 @@ async fn half_step(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wwt_mem::CacheGeometry;
     use wwt_mp::MpConfig;
     use wwt_sim::{Counter, Kind, Scope};
     use wwt_sm::{AllocPolicy, ProtocolMode};
-    use wwt_mem::CacheGeometry;
 
     #[test]
     fn matches_sequential_reference_bitwise() {
         let p = Em3dParams::small();
         let r = run(&p, SmConfig::default());
         assert!(r.validation.passed, "{}", r.validation.detail);
-        assert!(r.validation.detail.contains("0.000e0"), "{}", r.validation.detail);
+        assert!(
+            r.validation.detail.contains("0.000e0"),
+            "{}",
+            r.validation.detail
+        );
     }
 
     #[test]

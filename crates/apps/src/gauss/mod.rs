@@ -91,10 +91,7 @@ pub(crate) fn gen_row(p: &GaussParams, r: usize) -> Vec<f64> {
 
 /// Checks a computed solution against the known all-ones answer.
 pub(crate) fn validate_solution(x: &[f64]) -> Validation {
-    let err = x
-        .iter()
-        .map(|&v| (v - 1.0).abs())
-        .fold(0.0f64, f64::max);
+    let err = x.iter().map(|&v| (v - 1.0).abs()).fold(0.0f64, f64::max);
     Validation::from_error("max |x - 1|", err, 1e-6)
 }
 

@@ -112,7 +112,11 @@ pub fn run(p: &GaussParams, mcfg: MpConfig, shape: TreeShape) -> AppRun {
                 if owner == me {
                     used[li_piv] = true;
                     my_pivot[k] = li_piv;
-                    m.peek_f64s(proc, row_off(li_piv) + (k * 8) as u64, &mut scratch[..active]);
+                    m.peek_f64s(
+                        proc,
+                        row_off(li_piv) + (k * 8) as u64,
+                        &mut scratch[..active],
+                    );
                     m.poke_f64s(proc, piv, &scratch[..active]);
                     m.touch_read(&cpu, row_off(li_piv) + (k * 8) as u64, active_bytes);
                     m.touch_write(&cpu, piv, active_bytes);

@@ -51,7 +51,8 @@ pub fn run(p: &GaussParams, scfg: SmConfig) -> AppRun {
             let me = proc.index();
             let (start, end) = block_range(n, p.procs, me);
             let nloc = end - start;
-            let row_addr = |owner: usize, li: usize| rows_base[owner].offset_by(li as u64 * row_bytes);
+            let row_addr =
+                |owner: usize, li: usize| rows_base[owner].offset_by(li as u64 * row_bytes);
 
             // --- initialization: fill local rows -------------------------
             for li in 0..nloc {

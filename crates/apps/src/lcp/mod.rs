@@ -96,7 +96,6 @@ impl LcpParams {
             ..Self::default()
         }
     }
-
 }
 
 /// The sparse symmetric matrix `M`: `diag` on the diagonal, -1.0 at the
@@ -234,8 +233,7 @@ mod tests {
         let p = LcpParams::small();
         let m = gen_matrix(&p);
         let target = 2 * p.band;
-        let avg: f64 =
-            m.off.iter().map(|r| r.len() as f64).sum::<f64>() / p.n as f64;
+        let avg: f64 = m.off.iter().map(|r| r.len() as f64).sum::<f64>() / p.n as f64;
         assert!(avg > 0.8 * target as f64, "avg nnz {avg}");
         // Scattered: some row references a column far outside any band.
         assert!(m

@@ -20,7 +20,10 @@ use crate::lcp::{gen_matrix, gen_q, psor_row, validate_lcp, LcpMode, LcpParams};
 /// Runs LCP-MP (synchronous) or ALCP-MP (asynchronous) and returns the
 /// measurements (Tables 18, 20, and 22).
 pub fn run(p: &LcpParams, mcfg: MpConfig, mode: LcpMode) -> AppRun {
-    assert!(p.procs.is_power_of_two(), "exchange needs a power-of-two machine");
+    assert!(
+        p.procs.is_power_of_two(),
+        "exchange needs a power-of-two machine"
+    );
     assert_eq!(p.n % p.procs, 0, "rows must divide evenly");
     let mut engine = Engine::new(p.procs, mcfg.sim);
     let m = MpMachine::new(&engine, mcfg);
@@ -136,7 +139,12 @@ pub fn run(p: &LcpParams, mcfg: MpConfig, mode: LcpMode) -> AppRun {
                         // Publish this sweep's block to everyone.
                         m.poke_f64s(proc, z_buf + (my_lo * 8) as u64, &z[my_lo..my_lo + nloc]);
                         for ch in star_out.iter().flatten() {
-                            m.channel_write(&cpu, ch, z_buf + (my_lo * 8) as u64, block_bytes as u32);
+                            m.channel_write(
+                                &cpu,
+                                ch,
+                                z_buf + (my_lo * 8) as u64,
+                                block_bytes as u32,
+                            );
                         }
                         // Incorporate whatever has arrived.
                         while m.poll_once(&cpu) {}
@@ -151,7 +159,12 @@ pub fn run(p: &LcpParams, mcfg: MpConfig, mode: LcpMode) -> AppRun {
                     for k in 0..stages {
                         let seg_bytes = ((nloc << k) * 8) as u32;
                         let g = (me >> k) << k;
-                        m.channel_write(&cpu, &stage_out[k], z_buf + (g * nloc * 8) as u64, seg_bytes);
+                        m.channel_write(
+                            &cpu,
+                            &stage_out[k],
+                            z_buf + (g * nloc * 8) as u64,
+                            seg_bytes,
+                        );
                         m.channel_wait(&cpu, stage_in[k]).await;
                     }
                     m.peek_f64s(proc, z_buf, &mut z);

@@ -94,8 +94,7 @@ pub fn run(p: &LcpParams, scfg: SmConfig, mode: LcpMode) -> AppRun {
                             LcpMode::Synchronous => {
                                 // Scattered reads of the private copy.
                                 for &j in &mat.off[i] {
-                                    m.touch_read(&cpu, z_loc.offset_by((j * 8) as u64), 8)
-                                        .await;
+                                    m.touch_read(&cpu, z_loc.offset_by((j * 8) as u64), 8).await;
                                 }
                             }
                             LcpMode::Asynchronous => {
@@ -122,7 +121,8 @@ pub fn run(p: &LcpParams, scfg: SmConfig, mode: LcpMode) -> AppRun {
                         z[i] = psor_row(&mat, p.omega, &q, &z, i);
                         match mode {
                             LcpMode::Synchronous => {
-                                m.touch_write(&cpu, z_loc.offset_by((i * 8) as u64), 8).await;
+                                m.touch_write(&cpu, z_loc.offset_by((i * 8) as u64), 8)
+                                    .await;
                             }
                             LcpMode::Asynchronous => {
                                 m.touch_write(&cpu, g_addr(i), 8).await;

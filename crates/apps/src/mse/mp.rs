@@ -196,7 +196,11 @@ pub fn run(p: &MseParams, mcfg: MpConfig) -> AppRun {
                         cpu.compute(p.pair_cost * (mm * mm) as u64);
                     }
                     // Jacobi update of this body's elements.
-                    m.touch_read(&cpu, s_cache + (li * p.bodies * mm * 8) as u64, (p.bodies * mm * 8) as u64);
+                    m.touch_read(
+                        &cpu,
+                        s_cache + (li * p.bodies * mm * 8) as u64,
+                        (p.bodies * mm * 8) as u64,
+                    );
                     m.touch_read(&cpu, rhs_buf + (li * mm * 8) as u64, body_bytes);
                     let is = p.slot(i);
                     for e in 0..mm {

@@ -57,9 +57,7 @@ pub fn run(p: &MseParams, scfg: SmConfig) -> AppRun {
             let body_bytes = (mm * 8) as u64;
             // Address of body j's element block in the shared vector
             // (owner-major slot layout).
-            let body_addr = |j: usize| {
-                z_chunks[p.owner(j)].offset_by(((j / np) * mm * 8) as u64)
-            };
+            let body_addr = |j: usize| z_chunks[p.owner(j)].offset_by(((j / np) * mm * 8) as u64);
 
             // --- start-up: node 0 initializes serially, then creates the
             // worker processes (the paper's parmacs model). ----------------
@@ -79,7 +77,8 @@ pub fn run(p: &MseParams, scfg: SmConfig) -> AppRun {
             // global structures, which unbalances the barrier.
             cpu.compute(p.pair_cost / 2 * (nb * mm * p.bodies * mm) as u64);
             m.touch_write(&cpu, rhs_buf, (nb * mm * 8) as u64).await;
-            m.touch_write(&cpu, z_chunks[me], (nb * mm * 8) as u64).await;
+            m.touch_write(&cpu, z_chunks[me], (nb * mm * 8) as u64)
+                .await;
             if me == 0 {
                 cpu.compute(p.unbalanced_init_cycles);
             }

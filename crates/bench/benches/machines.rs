@@ -121,5 +121,11 @@ fn mcs_contention(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, am_ping_pong, sm_block_bounce, collectives_32, mcs_contention);
+criterion_group!(
+    benches,
+    am_ping_pong,
+    sm_block_bounce,
+    collectives_32,
+    mcs_contention
+);
 criterion_main!(benches);

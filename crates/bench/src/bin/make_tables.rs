@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! make_tables [--test-scale] [--timeline] [experiment-id ...]
+//! make_tables [--test-scale] [--timeline] [--trace OUT.json]
+//!             [--metrics OUT.json] [--json OUT.json] [experiment-id ...]
 //! ```
 //!
 //! With no experiment ids, every experiment runs (this takes a few
@@ -12,31 +13,65 @@
 //! `gauss`, `em3d`, `lcp` select the matching group. With `--timeline`,
 //! each selected experiment additionally prints a per-processor activity
 //! timeline (where in time the cycles went).
+//!
+//! `--trace` re-runs each selected experiment with structured tracing and
+//! writes a Perfetto-loadable Chrome trace-event file per experiment (the
+//! experiment id is inserted before the extension: `out.json` becomes
+//! `out-em3d-mp.json`). `--metrics` writes the latency histograms as JSON
+//! the same way and prints them as ASCII tables; `--json` writes the
+//! result tables and run summary as JSON.
 
 use wwt_bench::{full_report, timeline_report};
 use wwt_core::{Experiment, Scale};
+
+/// Inserts `-{id}` before the path's extension: `out.json` + `mse-mp`
+/// becomes `out-mse-mp.json`.
+fn with_id(path: &str, id: &str) -> String {
+    match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() && !stem.ends_with('/') => {
+            format!("{stem}-{id}.{ext}")
+        }
+        _ => format!("{path}-{id}"),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: make_tables [--test-scale] [--timeline] [--trace OUT.json] \
+         [--metrics OUT.json] [--json OUT.json] [experiment-id ...]"
+    );
+    eprintln!("experiments:");
+    for e in Experiment::ALL {
+        eprintln!("  {:<16} {}", e.id(), e.paper_tables());
+    }
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
     let mut timeline = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut json_out: Option<String> = None;
     let mut selected: Vec<Experiment> = Vec::new();
-    for a in &args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--test-scale" => scale = Scale::Test,
             "--timeline" => timeline = true,
-            "--help" | "-h" => {
-                eprintln!("usage: make_tables [--test-scale] [--timeline] [experiment-id ...]");
-                eprintln!("experiments:");
-                for e in Experiment::ALL {
-                    eprintln!("  {:<16} {}", e.id(), e.paper_tables());
-                }
-                return;
-            }
+            "--trace" => trace_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--metrics" => metrics_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--json" => json_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
             id => {
                 let matches: Vec<Experiment> = Experiment::ALL
                     .into_iter()
-                    .filter(|e| e.id() == id || e.id().starts_with(&format!("{id}-")) || e.id().starts_with(id))
+                    .filter(|e| {
+                        e.id() == id
+                            || e.id().starts_with(&format!("{id}-"))
+                            || e.id().starts_with(id)
+                    })
                     .collect();
                 if matches.is_empty() {
                     eprintln!("unknown experiment '{id}' (try --help)");
@@ -54,6 +89,38 @@ fn main() {
     if timeline {
         for &e in &selected {
             print!("{}", timeline_report(e, scale));
+        }
+    }
+
+    let tracing_requested = trace_out.is_some() || metrics_out.is_some() || json_out.is_some();
+    #[cfg(not(feature = "trace-json"))]
+    if tracing_requested {
+        eprintln!("make_tables was built without the `trace-json` feature; --trace/--metrics/--json are unavailable");
+        std::process::exit(2);
+    }
+    #[cfg(feature = "trace-json")]
+    if tracing_requested {
+        for &e in &selected {
+            let tr = wwt_bench::trace_report(e, scale);
+            if let Some(base) = &trace_out {
+                let path = with_id(base, e.id());
+                std::fs::write(&path, &tr.perfetto)
+                    .unwrap_or_else(|err| panic!("writing {path}: {err}"));
+                eprintln!("wrote trace {path}");
+            }
+            if let Some(base) = &metrics_out {
+                let path = with_id(base, e.id());
+                std::fs::write(&path, &tr.metrics_json)
+                    .unwrap_or_else(|err| panic!("writing {path}: {err}"));
+                eprintln!("wrote metrics {path}");
+                println!("\n### {} — {}", e.id(), tr.metrics_table);
+            }
+            if let Some(base) = &json_out {
+                let path = with_id(base, e.id());
+                std::fs::write(&path, &tr.experiment_json)
+                    .unwrap_or_else(|err| panic!("writing {path}: {err}"));
+                eprintln!("wrote result json {path}");
+            }
         }
     }
 }

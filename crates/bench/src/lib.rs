@@ -31,7 +31,11 @@ pub fn full_report(experiments: &[Experiment], scale: Scale) -> String {
         let _ = writeln!(
             out,
             "validation: {} — {}",
-            if r.run.validation.passed { "PASS" } else { "FAIL" },
+            if r.run.validation.passed {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             r.run.validation.detail
         );
         for (name, v) in &r.run.stats {
@@ -52,10 +56,18 @@ pub fn full_report(experiments: &[Experiment], scale: Scale) -> String {
         results.insert(e, r);
     }
 
-    let _ = writeln!(out, "\n{}\nPaper-published values (for comparison)\n{0}", "-".repeat(70));
+    let _ = writeln!(
+        out,
+        "\n{}\nPaper-published values (for comparison)\n{0}",
+        "-".repeat(70)
+    );
     for t in paper_reference() {
         if results.contains_key(&t.experiment) {
-            let _ = writeln!(out, "\nPaper Table {}: {} (total {:.1}M)", t.number, t.title, t.total);
+            let _ = writeln!(
+                out,
+                "\nPaper Table {}: {} (total {:.1}M)",
+                t.number, t.title, t.total
+            );
             for (label, v) in t.rows {
                 let _ = writeln!(out, "  {label:<28} {v:>8.1}M {:>4.0}%", 100.0 * v / t.total);
             }
@@ -85,13 +97,51 @@ pub fn timeline_report(e: Experiment, scale: Scale) -> String {
         ..wwt_core::sim::SimConfig::default()
     };
     let out = run_experiment_with(e, scale, sim);
+    let timeline = render_timeline(&out.run.report, bucket, 100)
+        .expect("run was profiled, so a timeline must render");
     format!(
         "
 ### {} — timeline
 {}",
         e.id(),
-        render_timeline(&out.run.report, bucket, 100)
+        timeline
     )
+}
+
+/// Everything a trace-enabled run exports (the `--trace`/`--metrics`
+/// outputs of `make_tables`).
+#[cfg(feature = "trace-json")]
+#[derive(Clone, Debug)]
+pub struct TraceReport {
+    /// Chrome trace-event / Perfetto JSON.
+    pub perfetto: String,
+    /// Latency histograms as JSON.
+    pub metrics_json: String,
+    /// Latency histograms as an ASCII table.
+    pub metrics_table: String,
+    /// The experiment result (tables, validation, summary) as JSON.
+    pub experiment_json: String,
+}
+
+/// Re-runs one experiment with structured tracing enabled and exports the
+/// trace, the latency histograms, and the result tables.
+#[cfg(feature = "trace-json")]
+pub fn trace_report(e: Experiment, scale: Scale) -> TraceReport {
+    use wwt_core::trace;
+
+    let sim = wwt_core::sim::SimConfig {
+        trace: true,
+        ..wwt_core::sim::SimConfig::default()
+    };
+    let out = run_experiment_with(e, scale, sim);
+    let report = &out.run.report;
+    let data = report.trace().expect("tracing was enabled");
+    TraceReport {
+        perfetto: trace::chrome_trace_json(report).expect("tracing was enabled"),
+        metrics_json: trace::metrics_json(&data.metrics),
+        metrics_table: trace::metrics_table(&data.metrics),
+        experiment_json: wwt_core::experiment_json(&out),
+    }
 }
 
 #[cfg(test)]

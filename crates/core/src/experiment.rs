@@ -228,19 +228,12 @@ fn whole_program_sm(e: Experiment, run: AppRun, title: &str) -> ExperimentOutput
 }
 
 /// Adds init/main phase tables for runs that record them (EM3D).
-fn add_phase_tables(
-    out: &mut ExperimentOutput,
-    title: &str,
-    sm: bool,
-) {
+fn add_phase_tables(out: &mut ExperimentOutput, title: &str, sm: bool) {
     let (Some(init), Some(main)) = (out.run.phase("init"), out.run.phase("main")) else {
         return;
     };
     let n = init.snapshot.len();
-    let zero = vec![
-        (0u64, wwt_sim::CycleMatrix::new(), wwt_sim::Counters::new());
-        n
-    ];
+    let zero = vec![(0u64, wwt_sim::CycleMatrix::new(), wwt_sim::Counters::new()); n];
     let (init_m, init_c) = phase_delta(&init.snapshot, &zero);
     let (main_m, main_c) = phase_delta(&main.snapshot, &init.snapshot);
     let mk = |t: &str, m: &wwt_sim::CycleMatrix| {
@@ -250,8 +243,10 @@ fn add_phase_tables(
             breakdown_mp(t, m, "Communication")
         }
     };
-    out.tables.push(mk(&format!("{title} — initialization"), &init_m));
-    out.tables.push(mk(&format!("{title} — main loop"), &main_m));
+    out.tables
+        .push(mk(&format!("{title} — initialization"), &init_m));
+    out.tables
+        .push(mk(&format!("{title} — main loop"), &main_m));
     let ev = if sm {
         events_sm(&format!("{title} — main loop events"), &main_m, &main_c, n)
     } else {
@@ -330,10 +325,7 @@ pub fn run_experiment_with(
                 experiment: e,
                 scale,
                 run: lop,
-                extra_runs: vec![
-                    ("flat-cmmd".into(), flat),
-                    ("binary-cmmd".into(), binary),
-                ],
+                extra_runs: vec![("flat-cmmd".into(), flat), ("binary-cmmd".into(), binary)],
                 tables: Vec::new(),
                 events,
             }
@@ -506,7 +498,11 @@ mod tests {
     fn gauss_pair_runs_and_validates_at_test_scale() {
         for e in [Experiment::GaussMp, Experiment::GaussSm] {
             let out = run_experiment(e, Scale::Test);
-            assert!(out.run.validation.passed, "{e}: {}", out.run.validation.detail);
+            assert!(
+                out.run.validation.passed,
+                "{e}: {}",
+                out.run.validation.detail
+            );
             assert!(!out.tables.is_empty());
             assert!(out.tables[0].total > 0.0);
         }

@@ -23,14 +23,20 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiment;
+#[cfg(feature = "trace-json")]
+pub mod export;
 pub mod paper;
 pub mod table;
 pub mod timeline;
 
 pub use experiment::{run_experiment, run_experiment_with, Experiment, ExperimentOutput, Scale};
-pub use timeline::render_timeline;
+#[cfg(feature = "trace-json")]
+pub use export::{breakdown_json, experiment_json};
 pub use paper::{headline_checks, paper_reference, HeadlineCheck, PaperTable};
-pub use table::{breakdown_mp, breakdown_sm, events_mp, events_sm, BreakdownTable, EventTable, Row};
+pub use table::{
+    breakdown_mp, breakdown_sm, events_mp, events_sm, BreakdownTable, EventTable, Row,
+};
+pub use timeline::{render_timeline, TimelineError};
 
 // Re-export the component crates so downstream users need only one
 // dependency.
@@ -39,3 +45,4 @@ pub use wwt_mem as mem;
 pub use wwt_mp as mp;
 pub use wwt_sim as sim;
 pub use wwt_sm as sm;
+pub use wwt_trace as trace;

@@ -232,9 +232,23 @@ pub fn headline_checks(results: &HashMap<Experiment, ExperimentOutput>) -> Vec<H
     //    ratios match the paper's direction.
     let pairs = [
         ("MSE", Experiment::MseMp, Experiment::MseSm, 1.02, 0.8, 1.35),
-        ("Gauss", Experiment::GaussMp, Experiment::GaussSm, 1.02, 0.8, 1.35),
+        (
+            "Gauss",
+            Experiment::GaussMp,
+            Experiment::GaussSm,
+            1.02,
+            0.8,
+            1.35,
+        ),
         ("LCP", Experiment::LcpMp, Experiment::LcpSm, 1.16, 0.95, 1.6),
-        ("EM3D", Experiment::Em3dMp, Experiment::Em3dSm, 2.0, 1.5, 3.5),
+        (
+            "EM3D",
+            Experiment::Em3dMp,
+            Experiment::Em3dSm,
+            2.0,
+            1.5,
+            3.5,
+        ),
     ];
     for (name, mp, sm, paper_ratio, lo, hi) in pairs {
         if let (Some(a), Some(b)) = (get(mp), get(sm)) {
@@ -244,7 +258,12 @@ pub fn headline_checks(results: &HashMap<Experiment, ExperimentOutput>) -> Vec<H
             checks.push(HeadlineCheck {
                 name: format!("{name}: computation nearly equal in both versions"),
                 paper: "within a few percent".into(),
-                measured: format!("MP {:.1}M vs SM {:.1}M ({:.0}% apart)", ca / 1e6, cb / 1e6, 100.0 * rel),
+                measured: format!(
+                    "MP {:.1}M vs SM {:.1}M ({:.0}% apart)",
+                    ca / 1e6,
+                    cb / 1e6,
+                    100.0 * rel
+                ),
                 pass: rel < 0.3,
             });
             let ratio = total(b) / total(a).max(1.0);
@@ -279,7 +298,12 @@ pub fn headline_checks(results: &HashMap<Experiment, ExperimentOutput>) -> Vec<H
             checks.push(HeadlineCheck {
                 name: "Gauss collectives: flat > binary > lop-sided".into(),
                 paper: "119.3M > 40.9M > 30.1M cycles".into(),
-                measured: format!("{:.1}M > {:.1}M > {:.1}M", flat / 1e6, binary / 1e6, lop / 1e6),
+                measured: format!(
+                    "{:.1}M > {:.1}M > {:.1}M",
+                    flat / 1e6,
+                    binary / 1e6,
+                    lop / 1e6
+                ),
                 pass: flat > binary && binary > lop,
             });
         }
@@ -305,9 +329,8 @@ pub fn headline_checks(results: &HashMap<Experiment, ExperimentOutput>) -> Vec<H
             };
             let per_step_s = bytes(s) / ss.max(1.0);
             let per_step_a = bytes(a) / sa.max(1.0);
-            let pass = sa < ss
-                && per_step_a > 2.0 * per_step_s
-                && (!check_total || total(a) > total(s));
+            let pass =
+                sa < ss && per_step_a > 2.0 * per_step_s && (!check_total || total(a) > total(s));
             checks.push(HeadlineCheck {
                 name: format!(
                     "ALCP-{name}: fewer steps than LCP-{name}, far more communication{}",
@@ -316,7 +339,8 @@ pub fn headline_checks(results: &HashMap<Experiment, ExperimentOutput>) -> Vec<H
                 paper: "43 steps -> 34/35; bytes ~4x; total rises ~1.5x".into(),
                 measured: format!(
                     "{ss:.0} -> {sa:.0} steps; bytes/step {:.0} -> {:.0}; total {:.1}M -> {:.1}M",
-                    per_step_s, per_step_a,
+                    per_step_s,
+                    per_step_a,
                     total(s) / 1e6,
                     total(a) / 1e6
                 ),
@@ -389,7 +413,11 @@ pub fn headline_checks(results: &HashMap<Experiment, ExperimentOutput>) -> Vec<H
             checks.push(HeadlineCheck {
                 name: "EM3D-SM: Stache converts remote re-misses into local refills".into(),
                 paper: "discussed (Reinhardt, Larus & Wood)".into(),
-                measured: format!("main loop {:.1}M -> {:.1}M", bm.total / 1e6, sm_.total / 1e6),
+                measured: format!(
+                    "main loop {:.1}M -> {:.1}M",
+                    bm.total / 1e6,
+                    sm_.total / 1e6
+                ),
                 pass: sm_.total < 0.85 * bm.total,
             });
         }
@@ -457,8 +485,7 @@ mod tests {
 
     #[test]
     fn paper_reference_covers_every_breakdown_experiment() {
-        let covered: Vec<Experiment> =
-            paper_reference().iter().map(|t| t.experiment).collect();
+        let covered: Vec<Experiment> = paper_reference().iter().map(|t| t.experiment).collect();
         for e in [
             Experiment::MseMp,
             Experiment::GaussSm,
@@ -475,7 +502,12 @@ mod tests {
         // paper scale (31-way star sends per sweep); at test scale we
         // check the checks exist and the fewer-steps half holds.
         let mut results = HashMap::new();
-        for e in [Experiment::LcpMp, Experiment::LcpSm, Experiment::AlcpMp, Experiment::AlcpSm] {
+        for e in [
+            Experiment::LcpMp,
+            Experiment::LcpSm,
+            Experiment::AlcpMp,
+            Experiment::AlcpSm,
+        ] {
             results.insert(e, run_experiment(e, Scale::Test));
         }
         let checks = headline_checks(&results);

@@ -32,7 +32,10 @@ pub struct BreakdownTable {
 impl BreakdownTable {
     /// The cycles of a row by label, if present.
     pub fn row(&self, label: &str) -> Option<f64> {
-        self.rows.iter().find(|r| r.label == label).map(|r| r.cycles)
+        self.rows
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.cycles)
     }
 
     /// A row's share of the total, in percent.
@@ -58,7 +61,10 @@ impl BreakdownTable {
                 100.0 * r.cycles / self.total.max(1.0)
             ));
         }
-        out.push_str(&format!("| **Total** | **{:.1}** | 100% |\n", self.total / 1e6));
+        out.push_str(&format!(
+            "| **Total** | **{:.1}** | 100% |\n",
+            self.total / 1e6
+        ));
         out
     }
 }
@@ -78,7 +84,13 @@ impl fmt::Display for BreakdownTable {
                 width = 28 - 2 * r.indent,
             )?;
         }
-        writeln!(f, "  {:<28} {:>10.1} {:>4.0}%", "Total", self.total / 1e6, 100.0)
+        writeln!(
+            f,
+            "  {:<28} {:>10.1} {:>4.0}%",
+            "Total",
+            self.total / 1e6,
+            100.0
+        )
     }
 }
 
@@ -105,8 +117,7 @@ pub fn breakdown_mp(title: &str, m: &CycleMatrix, comm_label: &str) -> Breakdown
     let lib_miss = cells(m, &lib, &[Kind::PrivMiss, Kind::TlbMiss]);
     let net = cells(m, &Scope::ALL, &[Kind::NetAccess]);
     let barrier = cells(m, &Scope::ALL, &[Kind::BarrierWait]);
-    let covered =
-        computation + local_misses + lib_comp + lib_miss + net + barrier;
+    let covered = computation + local_misses + lib_comp + lib_miss + net + barrier;
     let other = m.total() as f64 - covered;
     let comm = lib_comp + lib_miss + net + barrier;
     let mut rows = vec![
@@ -173,9 +184,8 @@ pub fn breakdown_sm(title: &str, m: &CycleMatrix) -> BreakdownTable {
     let reductions = m.by_scope(Scope::Reduction) as f64;
     let startup = m.by_scope(Scope::Startup) as f64;
     let sync_comp = cells(m, &[Scope::Sync], &[Kind::Compute]);
-    let sync_other = m.by_scope(Scope::Sync) as f64
-        - sync_comp
-        - cells(m, &[Scope::Sync], &[Kind::BarrierWait]);
+    let sync_other =
+        m.by_scope(Scope::Sync) as f64 - sync_comp - cells(m, &[Scope::Sync], &[Kind::BarrierWait]);
     let covered = computation
         + shared
         + wfaults
@@ -278,10 +288,7 @@ pub struct EventTable {
 impl EventTable {
     /// The value of a row by label, if present.
     pub fn row(&self, label: &str) -> Option<f64> {
-        self.rows
-            .iter()
-            .find(|(l, _)| l == label)
-            .map(|&(_, v)| v)
+        self.rows.iter().find(|(l, _)| l == label).map(|&(_, v)| v)
     }
 }
 
@@ -311,7 +318,12 @@ fn comp_per_data_byte(m: &CycleMatrix, c: &Counters, nprocs: usize) -> f64 {
 
 /// Builds the paper's MP event table (Tables 6, 10, 13, 22) from
 /// machine-wide counters and the average cycle matrix.
-pub fn events_mp(title: &str, avg_matrix: &CycleMatrix, total: &Counters, nprocs: usize) -> EventTable {
+pub fn events_mp(
+    title: &str,
+    avg_matrix: &CycleMatrix,
+    total: &Counters,
+    nprocs: usize,
+) -> EventTable {
     let per = |c: Counter| total.get(c) as f64 / nprocs as f64;
     EventTable {
         title: title.into(),
@@ -336,7 +348,12 @@ pub fn events_mp(title: &str, avg_matrix: &CycleMatrix, total: &Counters, nprocs
 }
 
 /// Builds the paper's SM event table (Tables 7, 11, 15, 23).
-pub fn events_sm(title: &str, avg_matrix: &CycleMatrix, total: &Counters, nprocs: usize) -> EventTable {
+pub fn events_sm(
+    title: &str,
+    avg_matrix: &CycleMatrix,
+    total: &Counters,
+    nprocs: usize,
+) -> EventTable {
     let per = |c: Counter| total.get(c) as f64 / nprocs as f64;
     EventTable {
         title: title.into(),
@@ -410,8 +427,17 @@ mod tests {
     fn mp_rows_cover_the_total() {
         let m = demo_matrix();
         let t = breakdown_mp("t", &m, "Communication");
-        let top: f64 = t.rows.iter().filter(|r| r.indent == 0).map(|r| r.cycles).sum();
-        assert!((top - t.total).abs() < 1e-9, "top rows {top} != total {}", t.total);
+        let top: f64 = t
+            .rows
+            .iter()
+            .filter(|r| r.indent == 0)
+            .map(|r| r.cycles)
+            .sum();
+        assert!(
+            (top - t.total).abs() < 1e-9,
+            "top rows {top} != total {}",
+            t.total
+        );
         assert_eq!(t.row("Computation"), Some(900.0));
         assert_eq!(t.row("Lib Comp"), Some(40.0));
         assert_eq!(t.row("Network Access"), Some(15.0));
@@ -428,12 +454,52 @@ mod tests {
         m.add(Scope::Startup, Kind::Wait, 40);
         m.add(Scope::App, Kind::BarrierWait, 15);
         let t = breakdown_sm("t", &m);
-        let top: f64 = t.rows.iter().filter(|r| r.indent == 0).map(|r| r.cycles).sum();
+        let top: f64 = t
+            .rows
+            .iter()
+            .filter(|r| r.indent == 0)
+            .map(|r| r.cycles)
+            .sum();
         assert!((top - t.total).abs() < 1e-9);
         assert_eq!(t.row("Shared Misses"), Some(100.0));
         assert_eq!(t.row("Locks"), Some(30.0));
         assert_eq!(t.row("Start-up Wait"), Some(40.0));
         assert_eq!(t.row("Barriers"), Some(15.0));
+    }
+
+    #[test]
+    fn empty_matrix_projects_to_zero_tables() {
+        let m = CycleMatrix::new();
+        for t in [
+            breakdown_mp("t", &m, "Communication"),
+            breakdown_sm("t", &m),
+        ] {
+            assert_eq!(t.total, 0.0);
+            assert!(t.rows.iter().all(|r| r.cycles == 0.0), "{t}");
+            // No phantom "Other" row appears for an all-zero matrix.
+            assert!(t.row("Other").is_none());
+            // Percentages stay finite (guarded by the max(1.0) divisor).
+            assert_eq!(t.pct("Computation"), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn uncovered_cells_surface_as_other() {
+        // A charge no category claims (startup compute is claimed by MP's
+        // Computation row but not by SM's rows outside Startup scope) must
+        // not vanish: both projections account for every cell.
+        let mut m = CycleMatrix::new();
+        m.add(Scope::App, Kind::Compute, 100);
+        m.add(Scope::Broadcast, Kind::ShMissRemote, 40);
+        let t = breakdown_sm("t", &m);
+        let top: f64 = t
+            .rows
+            .iter()
+            .filter(|r| r.indent == 0)
+            .map(|r| r.cycles)
+            .sum();
+        assert_eq!(top, t.total);
+        assert_eq!(t.row("Other"), Some(40.0));
     }
 
     #[test]

@@ -7,8 +7,31 @@
 //! [`render_timeline`].
 
 use std::fmt::Write as _;
+use std::{error, fmt};
 
 use wwt_sim::{CycleMatrix, Kind, Scope, SimReport};
+
+/// Why a timeline could not be rendered.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TimelineError {
+    /// The run recorded no time-resolved profile: it was executed without
+    /// [`wwt_sim::SimConfig::profile_bucket`].
+    NotProfiled,
+}
+
+impl fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimelineError::NotProfiled => write!(
+                f,
+                "run was not profiled: set SimConfig::profile_bucket \
+                 (e.g. via run_experiment_with) and re-run"
+            ),
+        }
+    }
+}
+
+impl error::Error for TimelineError {}
 
 /// The display categories of a timeline cell, most-specific first.
 const LEGEND: &[(char, &str)] = &[
@@ -63,12 +86,16 @@ fn classify(m: &CycleMatrix) -> char {
 ///
 /// `bucket` must be the [`wwt_sim::SimConfig::profile_bucket`] the run was
 /// profiled with; `cols` is the output width (profile buckets are
-/// re-aggregated to fit). Returns an empty string if the run was not
-/// profiled.
-pub fn render_timeline(report: &SimReport, bucket: u64, cols: usize) -> String {
+/// re-aggregated to fit). Fails with [`TimelineError::NotProfiled`] if the
+/// run recorded no profile.
+pub fn render_timeline(
+    report: &SimReport,
+    bucket: u64,
+    cols: usize,
+) -> Result<String, TimelineError> {
     let elapsed = report.elapsed().max(1);
     if report.procs().all(|p| p.profile.is_empty()) {
-        return String::new();
+        return Err(TimelineError::NotProfiled);
     }
     let cols = cols.max(10);
     let per_col = elapsed.div_ceil(cols as u64); // cycles per output column
@@ -104,7 +131,7 @@ pub fn render_timeline(report: &SimReport, bucket: u64, cols: usize) -> String {
     for (c, label) in LEGEND {
         let _ = writeln!(out, "  '{c}' {label}");
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -120,7 +147,7 @@ mod tests {
             ..SimConfig::default()
         };
         let out = run_experiment_with(Experiment::GaussSm, Scale::Test, sim);
-        let t = render_timeline(&out.run.report, 2_000, 80);
+        let t = render_timeline(&out.run.report, 2_000, 80).unwrap();
         assert!(t.contains("activity timeline"));
         assert!(t.contains('#'), "computation must appear:\n{t}");
         // One row per processor plus header and legend.
@@ -129,9 +156,11 @@ mod tests {
     }
 
     #[test]
-    fn unprofiled_run_renders_nothing() {
+    fn unprofiled_run_is_a_clear_error() {
         let out = crate::run_experiment(Experiment::GaussMp, Scale::Test);
-        assert!(render_timeline(&out.run.report, 1_000, 80).is_empty());
+        let err = render_timeline(&out.run.report, 1_000, 80).unwrap_err();
+        assert_eq!(err, TimelineError::NotProfiled);
+        assert!(err.to_string().contains("profile_bucket"), "{err}");
     }
 
     #[test]
@@ -157,5 +186,53 @@ mod tests {
         m.add(Scope::App, Kind::BarrierWait, 90);
         assert_eq!(classify(&m), 'B');
         assert_eq!(classify(&CycleMatrix::new()), ' ');
+    }
+
+    #[test]
+    fn classify_covers_every_legend_category() {
+        let cases: [(&[(Scope, Kind)], char); 10] = [
+            (&[(Scope::App, Kind::Compute)], '#'),
+            (&[(Scope::Lib, Kind::Compute)], 'L'),
+            (&[(Scope::App, Kind::NetAccess)], 'n'),
+            (&[(Scope::App, Kind::PrivMiss)], 'm'),
+            (&[(Scope::App, Kind::ShMissRemote)], 'S'),
+            (&[(Scope::App, Kind::WriteFault)], 'W'),
+            (&[(Scope::App, Kind::BarrierWait)], 'B'),
+            (&[(Scope::Lock, Kind::LockWait)], 'l'),
+            (&[(Scope::Startup, Kind::Wait)], 's'),
+            (&[(Scope::App, Kind::Wait)], '.'),
+        ];
+        for (cells, want) in cases {
+            let mut m = CycleMatrix::new();
+            for &(s, k) in cells {
+                m.add(s, k, 100);
+            }
+            assert_eq!(classify(&m), want, "cells {cells:?}");
+            // Every classification character appears in the legend.
+            assert!(LEGEND.iter().any(|&(c, _)| c == want));
+        }
+    }
+
+    #[test]
+    fn classify_breaks_ties_toward_the_later_category() {
+        // max_by_key keeps the last maximum, so on an exact tie the
+        // later (more wait-like) category wins. This is load-bearing for
+        // rendering: a bucket evenly split between compute and barrier
+        // shows as barrier.
+        let mut m = CycleMatrix::new();
+        m.add(Scope::App, Kind::Compute, 50);
+        m.add(Scope::App, Kind::BarrierWait, 50);
+        assert_eq!(classify(&m), 'B');
+        let mut m = CycleMatrix::new();
+        m.add(Scope::App, Kind::Compute, 50);
+        m.add(Scope::Lib, Kind::Compute, 50);
+        assert_eq!(classify(&m), 'L');
+    }
+
+    #[test]
+    fn classify_ignores_zero_filled_matrices() {
+        let mut m = CycleMatrix::new();
+        m.add(Scope::App, Kind::Compute, 0);
+        assert_eq!(classify(&m), ' ', "explicit zeros are still idle");
     }
 }

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach a crates registry, so this vendors the
+//! small API surface the workspace's benches use: `Criterion`,
+//! `benchmark_group`/`sample_size`/`bench_function`/`finish`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros. Measurement is a
+//! plain wall-clock mean over a handful of iterations — good enough to spot
+//! order-of-magnitude host-side regressions, with none of criterion's
+//! statistics.
+
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark (upstream criterion's sample
+/// counts would make simulator benches take minutes in CI).
+const DEFAULT_SAMPLES: usize = 3;
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `f` once as warmup and `samples` times timed, recording the
+    /// mean wall-clock nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs and reports one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the timed iteration count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs and reports one named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.samples, f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to do).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        nanos_per_iter: 0.0,
+    };
+    f(&mut b);
+    let nanos = b.nanos_per_iter;
+    if nanos >= 1e9 {
+        println!("bench {id:<50} {:>10.3} s/iter", nanos / 1e9);
+    } else if nanos >= 1e6 {
+        println!("bench {id:<50} {:>10.3} ms/iter", nanos / 1e6);
+    } else {
+        println!("bench {id:<50} {:>10.1} ns/iter", nanos);
+    }
+}
+
+/// Prevents the optimizer from deleting a benchmark's work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_body_and_records_time() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        // 1 warmup + 2 timed.
+        assert_eq!(runs, 3);
+    }
+}

@@ -57,7 +57,13 @@ impl TouchOutcome {
 /// let again = touch(&mut cache, &mut tlb, 0, 128, AccessKind::Read);
 /// assert_eq!(again.misses, 0);
 /// ```
-pub fn touch(cache: &mut Cache, tlb: &mut Tlb, addr: u64, bytes: u64, kind: AccessKind) -> TouchOutcome {
+pub fn touch(
+    cache: &mut Cache,
+    tlb: &mut Tlb,
+    addr: u64,
+    bytes: u64,
+    kind: AccessKind,
+) -> TouchOutcome {
     let mut out = TouchOutcome::default();
     if bytes == 0 {
         return out;

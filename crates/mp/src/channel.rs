@@ -93,6 +93,7 @@ impl MpMachine {
                 meta: id.0,
                 words: [capacity, 0, 0, 0],
                 data_bytes: 0,
+                sent_at: 0,
             },
         );
         id
@@ -159,6 +160,7 @@ impl MpMachine {
                     meta: (ch.id.0 << IDX_BITS) | idx,
                     words,
                     data_bytes: chunk,
+                    sent_at: 0,
                 },
             );
         }
@@ -171,6 +173,7 @@ impl MpMachine {
                 meta: ch.id.0,
                 words: [bytes, 0, 0, 0],
                 data_bytes: 0,
+                sent_at: 0,
             },
         );
     }
@@ -215,7 +218,9 @@ impl MpMachine {
             (ch.buf_off, ch.capacity)
         };
         let base = buf_off + (idx * PACKET_PAYLOAD_BYTES) as u64;
-        let chunk = pkt.data_bytes.min(capacity - (idx * PACKET_PAYLOAD_BYTES).min(capacity));
+        let chunk = pkt
+            .data_bytes
+            .min(capacity - (idx * PACKET_PAYLOAD_BYTES).min(capacity));
         // Store the payload into the destination buffer.
         for w in 0..4u32 {
             if w * 4 < chunk {

@@ -59,9 +59,16 @@ impl TreeShape {
                     Vec::new()
                 }
             }
-            TreeShape::Binary => [2 * v + 1, 2 * v + 2].into_iter().filter(|&c| c < n).collect(),
+            TreeShape::Binary => [2 * v + 1, 2 * v + 2]
+                .into_iter()
+                .filter(|&c| c < n)
+                .collect(),
             TreeShape::Lopsided => {
-                let lsb = if v == 0 { usize::MAX } else { v & v.wrapping_neg() };
+                let lsb = if v == 0 {
+                    usize::MAX
+                } else {
+                    v & v.wrapping_neg()
+                };
                 let mut kids = Vec::new();
                 let mut bit = 1usize;
                 while bit < lsb && v + bit < n {
@@ -161,8 +168,10 @@ impl MpMachine {
         for c in shape.children(v, n) {
             let c_abs = abs_rank(c, root, n).index();
             let key = (seq, c_abs);
-            self.poll_loop(cpu, move |m| m.nodes.borrow()[me].red_inbox.contains_key(&key))
-                .await;
+            self.poll_loop(cpu, move |m| {
+                m.nodes.borrow()[me].red_inbox.contains_key(&key)
+            })
+            .await;
             let w = self.nodes.borrow_mut()[me]
                 .red_inbox
                 .remove(&key)
@@ -185,6 +194,7 @@ impl MpMachine {
                     meta: seq,
                     words: acc,
                     data_bytes: 8,
+                    sent_at: 0,
                 },
             );
             None
@@ -216,8 +226,10 @@ impl MpMachine {
         let w = if v == 0 {
             words
         } else {
-            self.poll_loop(cpu, move |m| m.nodes.borrow()[me].bc_inbox.contains_key(&seq))
-                .await;
+            self.poll_loop(cpu, move |m| {
+                m.nodes.borrow()[me].bc_inbox.contains_key(&seq)
+            })
+            .await;
             self.nodes.borrow_mut()[me]
                 .bc_inbox
                 .remove(&seq)
@@ -235,6 +247,7 @@ impl MpMachine {
                     meta: seq,
                     words: w,
                     data_bytes: 8,
+                    sent_at: 0,
                 },
             );
         }
@@ -327,7 +340,10 @@ impl MpMachine {
         if v == 0 {
             assert!(bytes > 0, "root must broadcast at least one byte");
             let npkts = bytes.div_ceil(BULK_DATA_BYTES);
-            assert!(npkts < (1 << 14), "bulk broadcast of {bytes} bytes too large");
+            assert!(
+                npkts < (1 << 14),
+                "bulk broadcast of {bytes} bytes too large"
+            );
             self.touch_read(cpu, buf_off, bytes as u64);
             cpu.count(Counter::MessagesSent, 1);
             let children = shape.children(0, n);
@@ -341,8 +357,10 @@ impl MpMachine {
                 words[0] = pack_subhdr(root, shape, idx == npkts - 1, chunk, idx);
                 for w in 0..3u32 {
                     if w * 4 < chunk {
-                        words[(w + 1) as usize] =
-                            self.peek_u32(cpu.id(), buf_off + (idx * BULK_DATA_BYTES) as u64 + (w * 4) as u64);
+                        words[(w + 1) as usize] = self.peek_u32(
+                            cpu.id(),
+                            buf_off + (idx * BULK_DATA_BYTES) as u64 + (w * 4) as u64,
+                        );
                     }
                 }
                 cpu.compute(self.config().chan_packet_overhead);
@@ -356,6 +374,7 @@ impl MpMachine {
                             meta: seq,
                             words,
                             data_bytes: chunk,
+                            sent_at: 0,
                         },
                     );
                 }
@@ -429,6 +448,7 @@ impl MpMachine {
                     meta: pkt.meta,
                     words: pkt.words,
                     data_bytes: pkt.data_bytes,
+                    sent_at: 0,
                 },
             );
         }
@@ -469,11 +489,7 @@ mod tests {
         assert_eq!(TreeShape::Lopsided.parent(12, 32), Some(8));
     }
 
-    fn run_collective(
-        n: usize,
-        shape: TreeShape,
-        root: usize,
-    ) -> (Vec<f64>, wwt_sim::SimReport) {
+    fn run_collective(n: usize, shape: TreeShape, root: usize) -> (Vec<f64>, wwt_sim::SimReport) {
         let mut e = Engine::new(n, SimConfig::default());
         let m = MpMachine::new(&e, MpConfig::default());
         let results = Rc::new(std::cell::RefCell::new(vec![0.0f64; n]));
@@ -509,7 +525,10 @@ mod tests {
         for shape in [TreeShape::Flat, TreeShape::Binary, TreeShape::Lopsided] {
             for root in [0usize, 3] {
                 let (vals, _) = run_collective(8, shape, root);
-                assert!(vals.iter().all(|&v| v == 8.0), "{shape:?} root={root}: {vals:?}");
+                assert!(
+                    vals.iter().all(|&v| v == 8.0),
+                    "{shape:?} root={root}: {vals:?}"
+                );
             }
         }
     }
@@ -571,9 +590,7 @@ mod tests {
             let cpu = e.cpu(p);
             e.spawn(p, async move {
                 let b = if p.index() == root { bytes } else { 0 };
-                let got = m
-                    .bcast_bulk(&cpu, TreeShape::Lopsided, root, buf, b)
-                    .await;
+                let got = m.bcast_bulk(&cpu, TreeShape::Lopsided, root, buf, b).await;
                 assert_eq!(got, bytes);
             });
         }

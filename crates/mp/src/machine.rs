@@ -7,13 +7,16 @@ use std::fmt;
 use std::rc::Rc;
 
 use wwt_mem::{touch, AccessKind, Cache, NodeMem, Tlb, TouchOutcome};
-use wwt_sim::{Counter, Cpu, Cycles, Engine, HwBarrier, Kind, ProcId, Scope, ScopeGuard, Sim, WaitCell};
+use wwt_sim::{
+    Counter, Cpu, Cycles, Engine, HwBarrier, Kind, Mark, Metric, ProcId, Scope, ScopeGuard, Sim,
+    TraceWhat, WaitCell,
+};
 
 use crate::channel::{ChannelId, RecvChannel};
 use crate::collectives::BulkBcastState;
 use crate::config::MpConfig;
-use crate::sync_msg::{PendingRecv, PendingSend};
 use crate::packet::{tag, Packet, PACKET_BYTES};
+use crate::sync_msg::{PendingRecv, PendingSend};
 
 /// Arguments passed to an active-message handler.
 ///
@@ -108,6 +111,8 @@ pub struct MpMachine {
     pub(crate) nodes: RefCell<Vec<MpNode>>,
     handlers: RefCell<HashMap<u8, Rc<HandlerFn>>>,
     barrier: HwBarrier,
+    /// Cached [`Sim::tracing`] (single branch on packet paths when off).
+    tracing: bool,
 }
 
 impl fmt::Debug for MpMachine {
@@ -125,6 +130,7 @@ impl MpMachine {
         let sim = Rc::clone(engine.sim());
         let n = sim.nprocs();
         let seed = sim.config().seed;
+        let tracing = sim.tracing();
         Rc::new(MpMachine {
             sim,
             nodes: RefCell::new(
@@ -135,6 +141,7 @@ impl MpMachine {
             barrier: HwBarrier::new(n, config.barrier_latency),
             config,
             handlers: RefCell::new(HashMap::new()),
+            tracing,
         })
     }
 
@@ -169,7 +176,9 @@ impl MpMachine {
     /// Allocates `bytes` in `node`'s local memory (no simulated cost;
     /// allocation happens during setup).
     pub fn alloc(&self, node: ProcId, bytes: u64, align: u64) -> u64 {
-        self.nodes.borrow_mut()[node.index()].mem.alloc(bytes, align)
+        self.nodes.borrow_mut()[node.index()]
+            .mem
+            .alloc(bytes, align)
     }
 
     /// Reads an `f64` from `node`'s memory without simulated cost
@@ -193,7 +202,9 @@ impl MpMachine {
     /// Bulk-writes `f64`s to `node`'s memory without simulated cost
     /// (pair with [`MpMachine::touch_write`] for the memory-system charge).
     pub fn poke_f64s(&self, node: ProcId, off: u64, src: &[f64]) {
-        self.nodes.borrow_mut()[node.index()].mem.write_f64s(off, src)
+        self.nodes.borrow_mut()[node.index()]
+            .mem
+            .write_f64s(off, src)
     }
 
     /// Reads a `u32` from `node`'s memory without simulated cost.
@@ -236,7 +247,10 @@ impl MpMachine {
             cpu.count(Counter::PrivMisses, out.misses as u64);
         }
         if out.tlb_misses > 0 {
-            cpu.charge(Kind::TlbMiss, out.tlb_misses as Cycles * self.config.tlb_miss);
+            cpu.charge(
+                Kind::TlbMiss,
+                out.tlb_misses as Cycles * self.config.tlb_miss,
+            );
             cpu.count(Counter::TlbMisses, out.tlb_misses as u64);
         }
     }
@@ -263,12 +277,22 @@ impl MpMachine {
 
     /// Injects a packet: charges NI access at the sender and schedules
     /// delivery one network latency later. Usable from handlers.
-    pub(crate) fn send_packet(self: &Rc<Self>, cpu: &Cpu, pkt: Packet) {
+    pub(crate) fn send_packet(self: &Rc<Self>, cpu: &Cpu, mut pkt: Packet) {
         debug_assert_eq!(pkt.src, cpu.id());
-        cpu.charge(Kind::NetAccess, self.config.ni_tag_dest + self.config.ni_send);
+        cpu.charge(
+            Kind::NetAccess,
+            self.config.ni_tag_dest + self.config.ni_send,
+        );
         cpu.count(Counter::PacketsSent, 1);
         cpu.count(Counter::BytesData, pkt.data_bytes as u64);
         cpu.count(Counter::BytesControl, pkt.control_bytes() as u64);
+        pkt.sent_at = cpu.clock();
+        if cpu.tracing() {
+            cpu.trace(TraceWhat::Instant(Mark::MsgSend {
+                peer: pkt.dest,
+                tag: pkt.tag,
+            }));
+        }
         let this = Rc::clone(self);
         let mut arrival = (cpu.clock() + self.config.net_latency).max(cpu.now());
         if self.config.ni_accept_gap > 0 {
@@ -283,6 +307,16 @@ impl MpMachine {
     }
 
     fn deliver(&self, pkt: Packet) {
+        if self.tracing {
+            self.sim.trace(
+                pkt.dest,
+                self.sim.now(),
+                TraceWhat::Instant(Mark::MsgRecv {
+                    peer: pkt.src,
+                    tag: pkt.tag,
+                }),
+            );
+        }
         let cell = {
             let mut nodes = self.nodes.borrow_mut();
             let node = &mut nodes[pkt.dest.index()];
@@ -332,6 +366,7 @@ impl MpMachine {
                 meta,
                 words,
                 data_bytes,
+                sent_at: 0,
             },
         );
     }
@@ -358,6 +393,7 @@ impl MpMachine {
                 meta,
                 words,
                 data_bytes,
+                sent_at: 0,
             },
         );
     }
@@ -437,6 +473,16 @@ impl MpMachine {
 
     pub(crate) fn dispatch(self: &Rc<Self>, cpu: &Cpu, pkt: Packet) {
         self.nodes.borrow_mut()[cpu.id().index()].dispatched += 1;
+        if cpu.tracing() {
+            cpu.trace(TraceWhat::Instant(Mark::MsgDispatch {
+                peer: pkt.src,
+                tag: pkt.tag,
+            }));
+            // End-to-end message latency: network injection to handler
+            // dispatch (includes time queued at an unpolled NI).
+            cpu.sim()
+                .trace_sample(Metric::MsgLatency, cpu.clock().saturating_sub(pkt.sent_at));
+        }
         match pkt.tag {
             tag::CHAN_DATA => self.handle_chan_data(cpu, &pkt),
             tag::CHAN_DONE => self.handle_chan_done(cpu, &pkt),
@@ -451,7 +497,9 @@ impl MpMachine {
             tag::BC_VAL => {
                 cpu.compute(self.config.collective_msg_overhead);
                 let me = cpu.id().index();
-                self.nodes.borrow_mut()[me].bc_inbox.insert(pkt.meta, pkt.words);
+                self.nodes.borrow_mut()[me]
+                    .bc_inbox
+                    .insert(pkt.meta, pkt.words);
             }
             tag::BC_BULK => self.handle_bc_bulk(cpu, &pkt),
             tag::SYNC_REQ => {
@@ -553,7 +601,8 @@ mod tests {
         let c0 = e.cpu(ProcId::new(0));
         e.spawn(ProcId::new(0), async move {
             c0.compute(1000);
-            m0.am_send(&c0, ProcId::new(1), tag::USER_BASE, 0, [0; 4]).await;
+            m0.am_send(&c0, ProcId::new(1), tag::USER_BASE, 0, [0; 4])
+                .await;
         });
         let m1 = Rc::clone(&m);
         let c1 = e.cpu(ProcId::new(1));

@@ -3,7 +3,7 @@
 //! A packet is five 32-bit words: one header word (8-bit tag plus 24 bits
 //! of tag-specific metadata) and four payload words (16 bytes).
 
-use wwt_sim::ProcId;
+use wwt_sim::{Cycles, ProcId};
 
 /// Well-known packet tags.
 pub mod tag {
@@ -44,6 +44,10 @@ pub struct Packet {
     /// data-vs-control byte accounting); the rest of the 20 bytes count
     /// as control.
     pub data_bytes: u32,
+    /// Sender's clock when the packet entered the network. Simulator
+    /// measurement metadata (end-to-end message latency), not wire state;
+    /// stamped by the network interface on injection.
+    pub sent_at: Cycles,
 }
 
 /// Total packet size on the wire, in bytes.
@@ -91,6 +95,7 @@ mod tests {
             meta: 0,
             words: [0; 4],
             data_bytes: 16,
+            sent_at: 0,
         };
         assert_eq!(p.control_bytes(), 4);
     }

@@ -70,6 +70,7 @@ impl MpMachine {
                 meta: msg_tag & 0xff_ffff,
                 words: [bytes, 0, 0, 0],
                 data_bytes: 0,
+                sent_at: 0,
             },
         );
         self.poll_loop(cpu, move |m| {
@@ -185,6 +186,7 @@ impl MpMachine {
                     meta: req.msg_tag & 0xff_ffff,
                     words: [id.index() as u32, 0, 0, 0],
                     data_bytes: 0,
+                    sent_at: 0,
                 },
             );
         }

@@ -101,7 +101,8 @@ fn poll_until_with_drains_application_conditions() {
                 m.poll_until_with(&cpu, move || served.get() >= 2).await;
             } else {
                 cpu.compute(1_000 * p.index() as u64);
-                m.am_send(&cpu, ProcId::new(0), tag::USER_BASE, 0, [0; 4]).await;
+                m.am_send(&cpu, ProcId::new(0), tag::USER_BASE, 0, [0; 4])
+                    .await;
             }
         });
     }
@@ -152,7 +153,8 @@ fn send_costs_match_table_2() {
     let m0 = Rc::clone(&m);
     let c0 = e.cpu(ProcId::new(0));
     e.spawn(ProcId::new(0), async move {
-        m0.am_send(&c0, ProcId::new(1), tag::USER_BASE, 0, [0; 4]).await;
+        m0.am_send(&c0, ProcId::new(1), tag::USER_BASE, 0, [0; 4])
+            .await;
     });
     let m1 = Rc::clone(&m);
     let c1 = e.cpu(ProcId::new(1));
@@ -161,9 +163,18 @@ fn send_costs_match_table_2() {
     });
     let r = e.run();
     let sender = r.proc(ProcId::new(0));
-    assert_eq!(sender.matrix.by_kind(Kind::NetAccess), cfg.ni_tag_dest + cfg.ni_send);
-    assert_eq!(sender.matrix.get(Scope::Lib, Kind::Compute), cfg.am_send_overhead);
-    assert_eq!(sender.clock, cfg.am_send_overhead + cfg.ni_tag_dest + cfg.ni_send);
+    assert_eq!(
+        sender.matrix.by_kind(Kind::NetAccess),
+        cfg.ni_tag_dest + cfg.ni_send
+    );
+    assert_eq!(
+        sender.matrix.get(Scope::Lib, Kind::Compute),
+        cfg.am_send_overhead
+    );
+    assert_eq!(
+        sender.clock,
+        cfg.am_send_overhead + cfg.ni_tag_dest + cfg.ni_send
+    );
 }
 
 #[test]
@@ -281,7 +292,8 @@ fn ni_accept_gap_serializes_incasts() {
                     m.poll_until(&cpu, |got| got >= 8 * 10).await;
                 } else {
                     for k in 0..10 {
-                        m.am_send(&cpu, ProcId::new(0), tag::USER_BASE, k, [0; 4]).await;
+                        m.am_send(&cpu, ProcId::new(0), tag::USER_BASE, k, [0; 4])
+                            .await;
                     }
                 }
             });

@@ -1,0 +1,258 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach a crates registry, so this vendors the
+//! subset of proptest's surface the workspace's property tests use: the
+//! `proptest!` macro (with optional `#![proptest_config(...)]`), `name in
+//! strategy` and `name: type` parameters, half-open range strategies,
+//! tuple strategies, `collection::vec`, `prop_assert!`/`prop_assert_eq!`,
+//! and `ProptestConfig::with_cases`.
+//!
+//! Unlike real proptest there is no shrinking and no failure persistence:
+//! each test runs `cases` iterations of deterministic random sampling
+//! (seeded from the test's name), which keeps runs reproducible — the same
+//! property the simulator under test guarantees.
+
+use std::ops::Range;
+
+pub use rand::rngs::SmallRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Copy, Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Builds the deterministic per-test rng (macro plumbing; avoids
+/// requiring `rand` in the caller's dependency graph).
+pub fn new_rng(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// Deterministic per-test seed: FNV-1a over the test's name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub mod strategy {
+    use super::*;
+
+    /// A sampleable input source.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<T: rand::SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Strategy producing `Vec`s with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.len.start..self.len.end);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::*;
+
+    /// Types usable with the `name: type` parameter form.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    pub fn sample<T: Arbitrary>(rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Asserts a property over sampled inputs (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality over sampled inputs (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Binds one comma-separated parameter list entry per recursion step.
+/// Two forms: `name in strategy-expr` and `name: type` (Arbitrary).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::arbitrary::sample(&mut $rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::arbitrary::sample(&mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+/// Expands each `fn` in the block into a `#[test]` running `cases`
+/// deterministic sampling iterations.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr;) => {};
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::new_rng($crate::seed_for(stringify!($name)));
+            for case in 0..config.cases {
+                let _ = case;
+                $crate::__proptest_bind!(rng, $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+}
+
+/// The proptest entry macro: an optional `#![proptest_config(...)]`
+/// followed by `#[test] fn` items with strategy parameters.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            <$crate::ProptestConfig as ::core::default::Default>::default();
+            $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies respect their bounds.
+        #[test]
+        fn ranges_in_bounds(a in 3usize..17, b in -2i64..9, f in -1.5f64..2.5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-2..9).contains(&b));
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        /// Vec strategies respect element and length bounds; tuple
+        /// strategies sample both sides.
+        #[test]
+        fn vecs_and_tuples(v in crate::collection::vec((0usize..10, 0u64..1000), 1..50)) {
+            prop_assert!((1..50).contains(&v.len()));
+            for (k, c) in v {
+                prop_assert!(k < 10);
+                prop_assert!(c < 1000);
+            }
+        }
+
+        /// The `name: type` form binds via Arbitrary.
+        #[test]
+        fn typed_params_bind(flag: bool, word: u64) {
+            prop_assert!(flag as u64 <= 1);
+            prop_assert!(word.leading_zeros() <= 64);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(crate::seed_for("alpha"), crate::seed_for("alpha"));
+        assert_ne!(crate::seed_for("alpha"), crate::seed_for("beta"));
+    }
+}

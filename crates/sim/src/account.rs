@@ -218,7 +218,6 @@ impl CycleMatrix {
     }
 }
 
-
 impl fmt::Debug for CycleMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut map = f.debug_map();
@@ -373,7 +372,6 @@ impl Counters {
             .filter(|&(_, n)| n != 0)
     }
 }
-
 
 impl fmt::Debug for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

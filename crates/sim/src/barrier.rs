@@ -10,6 +10,7 @@ use std::fmt;
 use crate::account::{Counter, Kind};
 use crate::cpu::Cpu;
 use crate::time::Cycles;
+use crate::trace::{Mark, Metric, TraceWhat};
 use crate::wait::WaitCell;
 
 struct Episode {
@@ -96,6 +97,9 @@ impl HwBarrier {
         cpu.resync().await;
         cpu.count(Counter::Barriers, 1);
         let arrival = cpu.clock();
+        if cpu.tracing() {
+            cpu.trace(TraceWhat::Instant(Mark::BarrierArrive));
+        }
         let cell = {
             let mut ep = self.episode.borrow_mut();
             ep.arrived += 1;
@@ -108,6 +112,7 @@ impl HwBarrier {
                     w.complete(cpu.sim(), release);
                 }
                 cpu.wait_until(release, kind);
+                self.trace_release(cpu, arrival);
                 return;
             }
             let cell = WaitCell::new();
@@ -115,6 +120,15 @@ impl HwBarrier {
             cell
         };
         cell.wait(cpu, kind).await;
+        self.trace_release(cpu, arrival);
+    }
+
+    fn trace_release(&self, cpu: &Cpu, arrival: Cycles) {
+        if cpu.tracing() {
+            cpu.trace(TraceWhat::Instant(Mark::BarrierRelease));
+            cpu.sim()
+                .trace_sample(Metric::BarrierWait, cpu.clock() - arrival);
+        }
     }
 }
 

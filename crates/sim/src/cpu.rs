@@ -10,6 +10,7 @@ use std::task::{Context, Poll};
 use crate::account::{Counter, Kind, Scope};
 use crate::engine::Sim;
 use crate::time::{Cycles, ProcId};
+use crate::trace::TraceWhat;
 
 /// Handle through which a target task observes and advances its simulated
 /// processor.
@@ -23,6 +24,7 @@ pub struct Cpu {
     id: ProcId,
     // Cached from the (immutable) engine config: hot path avoidance.
     profile_bucket: Option<Cycles>,
+    tracing: bool,
 }
 
 impl fmt::Debug for Cpu {
@@ -37,11 +39,25 @@ impl fmt::Debug for Cpu {
 impl Cpu {
     pub(crate) fn new(sim: Rc<Sim>, id: ProcId) -> Self {
         let profile_bucket = sim.config().profile_bucket;
+        let tracing = sim.tracing();
         Cpu {
             sim,
             id,
             profile_bucket,
+            tracing,
         }
+    }
+
+    /// Whether tracing is enabled for this run (cached; the single branch
+    /// machine models pay on hot paths when tracing is off).
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Emits a trace event on this processor's track, timestamped with the
+    /// local clock. Callers should guard with [`Cpu::tracing`].
+    pub fn trace(&self, what: TraceWhat) {
+        self.sim.trace(self.id, self.clock(), what);
     }
 
     /// The processor this handle belongs to.
@@ -125,8 +141,14 @@ impl Cpu {
     /// # assert_eq!(r.proc(0.into()).matrix.get(Scope::Lib, Kind::Compute), 40);
     /// ```
     pub fn scope(&self, scope: Scope) -> ScopeGuard {
+        if self.tracing {
+            self.trace(TraceWhat::SpanBegin(scope));
+        }
         self.sim.with_proc(self.id, |p| p.scopes.push(scope));
-        ScopeGuard { cpu: self.clone() }
+        ScopeGuard {
+            cpu: self.clone(),
+            scope,
+        }
     }
 
     /// The innermost attribution scope currently active.
@@ -182,6 +204,7 @@ impl Cpu {
 #[must_use = "dropping the guard immediately pops the scope"]
 pub struct ScopeGuard {
     cpu: Cpu,
+    scope: Scope,
 }
 
 impl fmt::Debug for ScopeGuard {
@@ -197,6 +220,9 @@ impl Drop for ScopeGuard {
         self.cpu.sim.with_proc(self.cpu.id, |p| {
             p.scopes.pop();
         });
+        if self.cpu.tracing {
+            self.cpu.trace(TraceWhat::SpanEnd(self.scope));
+        }
     }
 }
 

@@ -13,6 +13,7 @@ use crate::cpu::Cpu;
 use crate::event::{Action, EventQueue};
 use crate::report::{ProcReport, SimReport};
 use crate::time::{Cycles, ProcId};
+use crate::trace::{Metric, TraceBuffer, TraceEvent, TraceSink, TraceWhat};
 
 /// Engine-level configuration.
 ///
@@ -36,6 +37,12 @@ pub struct SimConfig {
     /// for "where is time spent" timelines). `None` (the default) records
     /// nothing and costs nothing.
     pub profile_bucket: Option<Cycles>,
+    /// When `true`, install the default in-memory trace sink: scope spans,
+    /// machine events, and latency histograms are collected and returned
+    /// in [`SimReport::trace`]. `false` (the default) records nothing; the
+    /// flag is cached in every [`Cpu`] handle so disabled tracing costs a
+    /// single branch and no allocation on the hot paths.
+    pub trace: bool,
 }
 
 impl Default for SimConfig {
@@ -45,6 +52,7 @@ impl Default for SimConfig {
             seed: 0x5eed_0001,
             max_events: u64::MAX,
             profile_bucket: None,
+            trace: false,
         }
     }
 }
@@ -77,6 +85,7 @@ pub(crate) struct Inner {
     pub(crate) procs: Vec<Proc>,
     pub(crate) config: SimConfig,
     pub(crate) events_processed: u64,
+    pub(crate) trace: Option<Box<dyn TraceSink>>,
 }
 
 /// Shared simulator state, used through an `Rc<Sim>` by [`Cpu`] handles,
@@ -105,6 +114,9 @@ impl Sim {
                 procs: (0..nprocs).map(|_| Proc::new()).collect(),
                 config,
                 events_processed: 0,
+                trace: config
+                    .trace
+                    .then(|| Box::new(TraceBuffer::new()) as Box<dyn TraceSink>),
             }),
         })
     }
@@ -185,6 +197,27 @@ impl Sim {
     pub(crate) fn with_proc<R>(&self, p: ProcId, f: impl FnOnce(&mut Proc) -> R) -> R {
         f(&mut self.inner.borrow_mut().procs[p.index()])
     }
+
+    /// Whether a trace sink is installed (cheap, but callers on hot paths
+    /// should prefer the `bool` cached in [`Cpu`]).
+    pub fn tracing(&self) -> bool {
+        self.inner.borrow().trace.is_some()
+    }
+
+    /// Emits a trace event on processor `p`'s track. No-op when tracing
+    /// is disabled.
+    pub fn trace(&self, p: ProcId, at: Cycles, what: TraceWhat) {
+        if let Some(sink) = self.inner.borrow_mut().trace.as_mut() {
+            sink.record(TraceEvent { proc: p, at, what });
+        }
+    }
+
+    /// Records a latency sample. No-op when tracing is disabled.
+    pub fn trace_sample(&self, metric: Metric, value: Cycles) {
+        if let Some(sink) = self.inner.borrow_mut().trace.as_mut() {
+            sink.sample(metric, value);
+        }
+    }
 }
 
 type Task = Pin<Box<dyn Future<Output = ()>>>;
@@ -232,6 +265,13 @@ impl Engine {
     /// Creates a [`Cpu`] handle for processor `p` to move into its task.
     pub fn cpu(&self, p: ProcId) -> Cpu {
         Cpu::new(Rc::clone(&self.sim), p)
+    }
+
+    /// Replaces the trace sink (a streaming or filtering sink instead of
+    /// the default in-memory [`TraceBuffer`]). Implies tracing is enabled
+    /// regardless of [`SimConfig::trace`].
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sim.inner.borrow_mut().trace = Some(sink);
     }
 
     /// Installs the target task for processor `p`.
@@ -308,7 +348,8 @@ impl Engine {
             "deadlock: event queue empty but processors {stuck:?} are still blocked"
         );
 
-        let inner = self.sim.inner.borrow();
+        let mut inner = self.sim.inner.borrow_mut();
+        let trace = inner.trace.take().and_then(|sink| sink.finish());
         SimReport::new(
             inner
                 .procs
@@ -323,6 +364,7 @@ impl Engine {
                 })
                 .collect(),
             inner.events_processed,
+            trace,
         )
     }
 }
@@ -433,6 +475,94 @@ mod tests {
         let sim = Rc::clone(e.sim());
         sim.inner.borrow_mut().now = 50;
         sim.call_at(10, || {});
+    }
+
+    #[test]
+    fn tracing_records_spans_and_instants() {
+        use crate::trace::TraceWhat;
+        let cfg = SimConfig {
+            trace: true,
+            ..SimConfig::default()
+        };
+        let mut e = Engine::new(1, cfg);
+        let cpu = e.cpu(ProcId::new(0));
+        e.spawn(ProcId::new(0), async move {
+            cpu.compute(10);
+            {
+                let _lib = cpu.scope(Scope::Lib);
+                cpu.compute(5);
+            }
+        });
+        let r = e.run();
+        let trace = r.trace().expect("trace enabled");
+        let kinds: Vec<_> = trace.events.iter().map(|ev| ev.what).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceWhat::SpanBegin(Scope::Lib),
+                TraceWhat::SpanEnd(Scope::Lib)
+            ]
+        );
+        assert_eq!(trace.events[0].at, 10);
+        assert_eq!(trace.events[1].at, 15);
+    }
+
+    #[test]
+    fn tracing_disabled_records_nothing_and_does_not_perturb() {
+        let run = |trace: bool| {
+            let cfg = SimConfig {
+                trace,
+                ..SimConfig::default()
+            };
+            let mut e = Engine::new(2, cfg);
+            for p in e.proc_ids() {
+                let cpu = e.cpu(p);
+                e.spawn(p, async move {
+                    for _ in 0..10 {
+                        let _lib = cpu.scope(Scope::Lib);
+                        cpu.compute(7);
+                        cpu.resync().await;
+                    }
+                });
+            }
+            e.run()
+        };
+        let off = run(false);
+        let on = run(true);
+        assert!(off.trace().is_none());
+        assert!(on.trace().is_some());
+        // Tracing must be an observer: identical clocks and event counts.
+        assert_eq!(off.elapsed(), on.elapsed());
+        assert_eq!(off.events_processed(), on.events_processed());
+    }
+
+    #[test]
+    fn custom_trace_sink_receives_events() {
+        use crate::trace::{Metric, TraceData, TraceEvent, TraceSink};
+        struct Counting(u64);
+        impl TraceSink for Counting {
+            fn record(&mut self, _ev: TraceEvent) {
+                self.0 += 1;
+            }
+            fn sample(&mut self, _m: Metric, _v: Cycles) {}
+            fn finish(self: Box<Self>) -> Option<TraceData> {
+                let mut d = TraceData::default();
+                // Smuggle the count out through the metrics registry.
+                d.metrics.record(Metric::MsgLatency, self.0);
+                Some(d)
+            }
+        }
+        let mut e = Engine::new(1, SimConfig::default());
+        e.set_trace_sink(Box::new(Counting(0)));
+        let cpu = e.cpu(ProcId::new(0));
+        e.spawn(ProcId::new(0), async move {
+            let _lib = cpu.scope(Scope::Lib);
+            cpu.compute(1);
+        });
+        let r = e.run();
+        let data = r.trace().unwrap();
+        // Begin + end of the Lib span.
+        assert_eq!(data.metrics.get(Metric::MsgLatency).sum(), 2);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod engine;
 pub mod event;
 pub mod report;
 pub mod time;
+pub mod trace;
 pub mod wait;
 
 pub use account::{Counter, Counters, CycleMatrix, Kind, Scope};
@@ -55,4 +56,8 @@ pub use cpu::{Cpu, ScopeGuard};
 pub use engine::{Engine, Sim, SimConfig};
 pub use report::{ProcReport, SimReport};
 pub use time::{Cycles, ProcId};
+pub use trace::{
+    Histogram, Mark, Metric, MetricsRegistry, TraceBuffer, TraceData, TraceEvent, TraceSink,
+    TraceWhat,
+};
 pub use wait::WaitCell;

@@ -2,6 +2,7 @@
 
 use crate::account::{Counter, Counters, CycleMatrix, Kind, Scope};
 use crate::time::{Cycles, ProcId};
+use crate::trace::TraceData;
 
 /// Per-processor measurements.
 #[derive(Clone, Debug)]
@@ -28,14 +29,26 @@ pub struct ProcReport {
 pub struct SimReport {
     procs: Vec<ProcReport>,
     events_processed: u64,
+    trace: Option<TraceData>,
 }
 
 impl SimReport {
-    pub(crate) fn new(procs: Vec<ProcReport>, events_processed: u64) -> Self {
+    pub(crate) fn new(
+        procs: Vec<ProcReport>,
+        events_processed: u64,
+        trace: Option<TraceData>,
+    ) -> Self {
         SimReport {
             procs,
             events_processed,
+            trace,
         }
+    }
+
+    /// The structured trace and metrics collected by this run, if tracing
+    /// was enabled ([`SimConfig::trace`](crate::SimConfig)).
+    pub fn trace(&self) -> Option<&TraceData> {
+        self.trace.as_ref()
     }
 
     /// Number of processors in the run.
@@ -76,8 +89,7 @@ impl SimReport {
             return 0.0;
         }
         let max = self.elapsed() as f64;
-        let avg = self.procs.iter().map(|p| p.clock as f64).sum::<f64>()
-            / self.procs.len() as f64;
+        let avg = self.procs.iter().map(|p| p.clock as f64).sum::<f64>() / self.procs.len() as f64;
         if avg == 0.0 {
             0.0
         } else {
@@ -179,7 +191,7 @@ mod tests {
         };
         p1.matrix.add(Scope::App, Kind::Compute, 120);
         p1.counters.add(Counter::PacketsSent, 8);
-        SimReport::new(vec![p0, p1], 42)
+        SimReport::new(vec![p0, p1], 42, None)
     }
 
     #[test]

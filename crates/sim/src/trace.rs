@@ -1,0 +1,466 @@
+//! Structured tracing and latency metrics.
+//!
+//! When [`SimConfig::trace`](crate::SimConfig) is set, the engine installs
+//! a [`TraceSink`] that receives:
+//!
+//! * **span events** — every attribution-scope push/pop
+//!   ([`Cpu::scope`](crate::Cpu::scope)) becomes a
+//!   [`TraceWhat::SpanBegin`]/[`TraceWhat::SpanEnd`] pair on the owning
+//!   processor's track, timestamped with its local clock, and
+//! * **instant events** ([`Mark`]) — packet sends/receives/dispatches,
+//!   coherence-miss service windows, barrier arrivals and releases, lock
+//!   acquire/release,
+//!
+//! plus **latency samples** ([`Metric`]) aggregated into log2-bucketed
+//! [`Histogram`]s: message end-to-end latency, shared-miss service time,
+//! barrier wait, and lock wait/hold.
+//!
+//! The design is zero-cost when disabled: the `trace` flag is cached as a
+//! plain `bool` in every [`Cpu`](crate::Cpu) handle, so the hot charging
+//! and scoping paths pay a single predictable branch and allocate nothing.
+
+use std::fmt;
+
+use crate::account::{Kind, Scope};
+use crate::time::{Cycles, ProcId};
+
+/// An instantaneous machine event (no duration).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Mark {
+    /// A packet entered the network (message-passing machine).
+    MsgSend {
+        /// Destination node.
+        peer: ProcId,
+        /// Packet dispatch tag.
+        tag: u8,
+    },
+    /// A packet arrived at the destination network interface.
+    MsgRecv {
+        /// Source node.
+        peer: ProcId,
+        /// Packet dispatch tag.
+        tag: u8,
+    },
+    /// A received packet was dispatched to its handler.
+    MsgDispatch {
+        /// Source node.
+        peer: ProcId,
+        /// Packet dispatch tag.
+        tag: u8,
+    },
+    /// A coherence transaction (shared miss / write fault) began.
+    MissStart {
+        /// The cost kind the stall is charged to.
+        kind: Kind,
+    },
+    /// The matching coherence transaction completed.
+    MissEnd {
+        /// The cost kind the stall was charged to.
+        kind: Kind,
+    },
+    /// The processor arrived at a barrier.
+    BarrierArrive,
+    /// The processor was released from a barrier.
+    BarrierRelease,
+    /// The processor acquired a lock.
+    LockAcquire,
+    /// The processor released a lock.
+    LockRelease,
+}
+
+impl Mark {
+    /// A short stable label (used as the Perfetto event name).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mark::MsgSend { .. } => "msg_send",
+            Mark::MsgRecv { .. } => "msg_recv",
+            Mark::MsgDispatch { .. } => "msg_dispatch",
+            Mark::MissStart { .. } => "miss_start",
+            Mark::MissEnd { .. } => "miss_end",
+            Mark::BarrierArrive => "barrier_arrive",
+            Mark::BarrierRelease => "barrier_release",
+            Mark::LockAcquire => "lock_acquire",
+            Mark::LockRelease => "lock_release",
+        }
+    }
+}
+
+/// What a [`TraceEvent`] records.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TraceWhat {
+    /// An attribution scope was pushed; charges now go to `.0`.
+    SpanBegin(Scope),
+    /// The matching scope was popped.
+    SpanEnd(Scope),
+    /// An instantaneous event.
+    Instant(Mark),
+}
+
+/// One structured trace event.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The processor whose track this event belongs to.
+    pub proc: ProcId,
+    /// Timestamp in cycles. Span events use the processor's local clock
+    /// (monotone per track); instants from machine callbacks may use
+    /// global time.
+    pub at: Cycles,
+    /// The event itself.
+    pub what: TraceWhat,
+}
+
+/// A latency distribution tracked by the metrics registry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Message end-to-end latency: send call to handler dispatch.
+    MsgLatency,
+    /// Shared-miss service time: coherence-transaction start to response.
+    ShMissService,
+    /// Barrier wait: arrival to release.
+    BarrierWait,
+    /// Lock wait: acquire call to lock held.
+    LockWait,
+    /// Lock hold: acquired to released.
+    LockHold,
+}
+
+impl Metric {
+    /// All metrics, in index order.
+    pub const ALL: [Metric; 5] = [
+        Metric::MsgLatency,
+        Metric::ShMissService,
+        Metric::BarrierWait,
+        Metric::LockWait,
+        Metric::LockHold,
+    ];
+
+    /// Number of metrics.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index of this metric.
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
+    /// Stable snake_case name (used as the JSON key).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::MsgLatency => "msg_latency",
+            Metric::ShMissService => "sh_miss_service",
+            Metric::BarrierWait => "barrier_wait",
+            Metric::LockWait => "lock_wait",
+            Metric::LockHold => "lock_hold",
+        }
+    }
+}
+
+/// Number of log2 buckets: bucket 0 holds zero, bucket `i` (1..=64) holds
+/// values whose bit length is `i`, i.e. `2^(i-1) <= v < 2^i`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed latency histogram.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: Cycles,
+    max: Cycles,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_index(v: Cycles) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// The half-open value range `[lo, hi)` of bucket `i`.
+    ///
+    /// Bucket 0 is `[0, 1)`; bucket 64's upper bound saturates at
+    /// `u64::MAX`.
+    pub fn bucket_bounds(i: usize) -> (Cycles, Cycles) {
+        assert!(i < HISTOGRAM_BUCKETS, "bucket index out of range");
+        if i == 0 {
+            (0, 1)
+        } else {
+            (1 << (i - 1), 1u64.checked_shl(i as u32).unwrap_or(u64::MAX))
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: Cycles) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> Cycles {
+        self.min
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> Cycles {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Iterates over non-empty buckets as `(lo, hi, count)`.
+    pub fn nonempty_buckets(&self) -> impl Iterator<Item = (Cycles, Cycles, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, c)
+            })
+    }
+}
+
+/// One histogram per [`Metric`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    hists: [Histogram; Metric::COUNT],
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Records one sample of `m`.
+    pub fn record(&mut self, m: Metric, v: Cycles) {
+        self.hists[m.index()].record(v);
+    }
+
+    /// The histogram for `m`.
+    pub fn get(&self, m: Metric) -> &Histogram {
+        &self.hists[m.index()]
+    }
+
+    /// Iterates over metrics with at least one sample.
+    pub fn nonempty(&self) -> impl Iterator<Item = (Metric, &Histogram)> + '_ {
+        Metric::ALL
+            .iter()
+            .map(|&m| (m, self.get(m)))
+            .filter(|(_, h)| h.count() > 0)
+    }
+}
+
+/// Everything a trace-enabled run collected.
+#[derive(Clone, Debug, Default)]
+pub struct TraceData {
+    /// All recorded events, in emission order (deterministic).
+    pub events: Vec<TraceEvent>,
+    /// Aggregated latency histograms.
+    pub metrics: MetricsRegistry,
+}
+
+/// Receiver for trace events and metric samples.
+///
+/// The default sink is the in-memory [`TraceBuffer`], installed by the
+/// engine when [`SimConfig::trace`](crate::SimConfig) is set; a custom
+/// sink (streaming, filtering) can be installed with
+/// [`Engine::set_trace_sink`](crate::Engine::set_trace_sink).
+pub trait TraceSink {
+    /// Records one structured event.
+    fn record(&mut self, ev: TraceEvent);
+
+    /// Records one latency sample.
+    fn sample(&mut self, metric: Metric, value: Cycles);
+
+    /// Consumes the sink at the end of the run, returning collected data
+    /// to embed in the report (a streaming sink may return `None`).
+    fn finish(self: Box<Self>) -> Option<TraceData>;
+}
+
+/// The default in-memory sink: keeps every event and all histograms.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    data: TraceData,
+}
+
+impl TraceBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        TraceBuffer::default()
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn record(&mut self, ev: TraceEvent) {
+        self.data.events.push(ev);
+    }
+
+    fn sample(&mut self, metric: Metric, value: Cycles) {
+        self.data.metrics.record(metric, value);
+    }
+
+    fn finish(self: Box<Self>) -> Option<TraceData> {
+        Some(self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(255), 8);
+        assert_eq!(Histogram::bucket_index(256), 9);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_are_half_open_and_contiguous() {
+        assert_eq!(Histogram::bucket_bounds(0), (0, 1));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 2));
+        assert_eq!(Histogram::bucket_bounds(2), (2, 4));
+        assert_eq!(Histogram::bucket_bounds(10), (512, 1024));
+        assert_eq!(Histogram::bucket_bounds(64), (1 << 63, u64::MAX));
+        // Every bucket's lower bound is the previous bucket's upper bound.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(
+                Histogram::bucket_bounds(i).1,
+                Histogram::bucket_bounds(i + 1).0
+            );
+        }
+        // And each boundary value lands in the bucket whose range opens
+        // with it.
+        for i in 1..HISTOGRAM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            if hi < u64::MAX {
+                assert_eq!(Histogram::bucket_index(hi - 1), i);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 60);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 30);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+        // 10 -> bucket 4 [8,16), 20 and 30 -> bucket 5 [16,32).
+        let got: Vec<_> = h.nonempty_buckets().collect();
+        assert_eq!(got, vec![(8, 16, 1), (16, 32, 2)]);
+    }
+
+    #[test]
+    fn zero_samples_land_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn registry_routes_by_metric() {
+        let mut r = MetricsRegistry::new();
+        r.record(Metric::MsgLatency, 100);
+        r.record(Metric::LockHold, 7);
+        r.record(Metric::LockHold, 9);
+        assert_eq!(r.get(Metric::MsgLatency).count(), 1);
+        assert_eq!(r.get(Metric::LockHold).count(), 2);
+        assert_eq!(r.get(Metric::BarrierWait).count(), 0);
+        let names: Vec<_> = r.nonempty().map(|(m, _)| m.label()).collect();
+        assert_eq!(names, vec!["msg_latency", "lock_hold"]);
+    }
+
+    #[test]
+    fn metric_indices_are_dense_and_stable() {
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+
+    #[test]
+    fn trace_buffer_round_trips_events() {
+        let mut b = Box::new(TraceBuffer::new());
+        let ev = TraceEvent {
+            proc: ProcId::new(2),
+            at: 123,
+            what: TraceWhat::SpanBegin(Scope::Lib),
+        };
+        b.record(ev);
+        b.sample(Metric::BarrierWait, 55);
+        let data = b.finish().unwrap();
+        assert_eq!(data.events, vec![ev]);
+        assert_eq!(data.metrics.get(Metric::BarrierWait).sum(), 55);
+    }
+}

@@ -32,10 +32,13 @@ fn quantum_bounds_run_ahead_skew() {
 #[test]
 #[should_panic(expected = "event budget exceeded")]
 fn livelock_hits_the_event_budget() {
-    let mut e = Engine::new(1, SimConfig {
-        max_events: 50,
-        ..SimConfig::default()
-    });
+    let mut e = Engine::new(
+        1,
+        SimConfig {
+            max_events: 50,
+            ..SimConfig::default()
+        },
+    );
     let cpu = e.cpu(ProcId::new(0));
     e.spawn(ProcId::new(0), async move {
         loop {

@@ -128,7 +128,9 @@ impl SmMachine {
     /// Allocates shared memory homed on a specific node (the "local
     /// allocation" policy of Table 17 when `node` is the toucher).
     pub fn gmalloc_on(&self, node: usize, bytes: u64, align: u64) -> GAddr {
-        let off = self.nodes.borrow_mut()[node].mem.alloc(bytes, align.max(32));
+        let off = self.nodes.borrow_mut()[node]
+            .mem
+            .alloc(bytes, align.max(32));
         GAddr::new(Segment::Shared, node, off)
     }
 
@@ -147,7 +149,9 @@ impl SmMachine {
 
     /// Writes an `f64` without simulated cost.
     pub fn poke_f64(&self, ga: GAddr, v: f64) {
-        self.nodes.borrow_mut()[ga.node()].mem.write_f64(ga.offset(), v)
+        self.nodes.borrow_mut()[ga.node()]
+            .mem
+            .write_f64(ga.offset(), v)
     }
 
     /// Reads a `u64` without simulated cost.
@@ -157,19 +161,25 @@ impl SmMachine {
 
     /// Writes a `u64` without simulated cost.
     pub fn poke_u64(&self, ga: GAddr, v: u64) {
-        self.nodes.borrow_mut()[ga.node()].mem.write_u64(ga.offset(), v)
+        self.nodes.borrow_mut()[ga.node()]
+            .mem
+            .write_u64(ga.offset(), v)
     }
 
     /// Bulk-reads `f64`s without simulated cost (pair with
     /// [`SmMachine::touch_read`] for the memory-system charge).
     pub fn peek_f64s(&self, ga: GAddr, dst: &mut [f64]) {
-        self.nodes.borrow()[ga.node()].mem.read_f64s(ga.offset(), dst)
+        self.nodes.borrow()[ga.node()]
+            .mem
+            .read_f64s(ga.offset(), dst)
     }
 
     /// Bulk-writes `f64`s without simulated cost (pair with
     /// [`SmMachine::touch_write`] for the memory-system charge).
     pub fn poke_f64s(&self, ga: GAddr, src: &[f64]) {
-        self.nodes.borrow_mut()[ga.node()].mem.write_f64s(ga.offset(), src)
+        self.nodes.borrow_mut()[ga.node()]
+            .mem
+            .write_f64s(ga.offset(), src)
     }
 
     /// Reads a `u32` without simulated cost.
@@ -179,7 +189,9 @@ impl SmMachine {
 
     /// Writes a `u32` without simulated cost.
     pub fn poke_u32(&self, ga: GAddr, v: u32) {
-        self.nodes.borrow_mut()[ga.node()].mem.write_u32(ga.offset(), v)
+        self.nodes.borrow_mut()[ga.node()]
+            .mem
+            .write_u32(ga.offset(), v)
     }
 
     // ----- protocol state accessors (used by protocol.rs) ------------------
@@ -247,7 +259,13 @@ impl SmMachine {
         self.access(cpu, ga, bytes, AccessKind::Write).await
     }
 
-    pub(crate) async fn access(self: &Rc<Self>, cpu: &Cpu, ga: GAddr, bytes: u64, kind: AccessKind) -> u32 {
+    pub(crate) async fn access(
+        self: &Rc<Self>,
+        cpu: &Cpu,
+        ga: GAddr,
+        bytes: u64,
+        kind: AccessKind,
+    ) -> u32 {
         match ga.segment() {
             Segment::Private => self.private_touch(cpu, ga, bytes, kind),
             Segment::Shared => self.shared_touch(cpu, ga, bytes, kind).await,
@@ -271,13 +289,22 @@ impl SmMachine {
             cpu.count(Counter::PrivMisses, out.misses as u64);
         }
         if out.tlb_misses > 0 {
-            cpu.charge(Kind::TlbMiss, out.tlb_misses as Cycles * self.config.tlb_miss);
+            cpu.charge(
+                Kind::TlbMiss,
+                out.tlb_misses as Cycles * self.config.tlb_miss,
+            );
             cpu.count(Counter::TlbMisses, out.tlb_misses as u64);
         }
         out.misses + out.upgrades
     }
 
-    async fn shared_touch(self: &Rc<Self>, cpu: &Cpu, ga: GAddr, bytes: u64, kind: AccessKind) -> u32 {
+    async fn shared_touch(
+        self: &Rc<Self>,
+        cpu: &Cpu,
+        ga: GAddr,
+        bytes: u64,
+        kind: AccessKind,
+    ) -> u32 {
         if bytes == 0 {
             return 0;
         }
@@ -330,7 +357,9 @@ impl SmMachine {
                 } else {
                     // Take the in-flight invalidation now and reload.
                     self.cache_invalidate(me, block);
-                    self.nodes.borrow_mut()[me].cache.access(block_raw, cache_kind)
+                    self.nodes.borrow_mut()[me]
+                        .cache
+                        .access(block_raw, cache_kind)
                 }
             } else {
                 result
@@ -555,8 +584,7 @@ impl SmMachine {
                 DirState::Exclusive(o) => o == me,
                 DirState::Uncached => false,
             };
-            let resident =
-                self.nodes.borrow()[me].cache.state_of(block_raw).is_some() && listed;
+            let resident = self.nodes.borrow()[me].cache.state_of(block_raw).is_some() && listed;
             if !resident {
                 // A couple of cycles to issue the prefetch instruction;
                 // the line is installed only when the response arrives,
@@ -693,11 +721,7 @@ impl SmMachine {
                 if ga.segment() != Segment::Shared {
                     continue;
                 }
-                let dir = nodes[ga.node()]
-                    .dir
-                    .get(&raw)
-                    .copied()
-                    .unwrap_or_default();
+                let dir = nodes[ga.node()].dir.get(&raw).copied().unwrap_or_default();
                 let listed = match dir {
                     DirState::Uncached => false,
                     DirState::Shared(s) => s.contains(n),
@@ -797,7 +821,10 @@ mod tests {
             assert_eq!(local_cost, 82);
         });
         let r = e.run();
-        assert_eq!(r.proc(ProcId::new(0)).counters.get(Counter::ShMissesLocal), 1);
+        assert_eq!(
+            r.proc(ProcId::new(0)).counters.get(Counter::ShMissesLocal),
+            1
+        );
     }
 
     #[test]
@@ -869,10 +896,7 @@ mod tests {
         }
         let r = e.run();
         let uncontended = 242; // from first_shared_read_misses_then_hits
-        let slowest = (0..n)
-            .map(|i| r.proc(ProcId::new(i)).clock)
-            .max()
-            .unwrap();
+        let slowest = (0..n).map(|i| r.proc(ProcId::new(i)).clock).max().unwrap();
         assert!(
             slowest > uncontended + 200,
             "expected queuing delay, slowest {slowest}"

@@ -15,7 +15,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use wwt_mem::GAddr;
-use wwt_sim::{Counter, Cpu, Kind, ProcId, Scope, WaitCell};
+use wwt_sim::{Counter, Cpu, Cycles, Kind, Mark, Metric, ProcId, Scope, TraceWhat, WaitCell};
 
 use crate::machine::SmMachine;
 
@@ -88,6 +88,9 @@ pub struct McsLock {
     qnodes: Vec<GAddr>,
     holder: Cell<Option<ProcId>>,
     queue: RefCell<VecDeque<(ProcId, WaitCell)>>,
+    /// Holder's clock at acquisition (valid while `holder` is `Some`);
+    /// powers the lock-hold-time histogram.
+    held_since: Cell<Cycles>,
 }
 
 impl fmt::Debug for McsLock {
@@ -109,6 +112,7 @@ impl McsLock {
             qnodes: (0..n).map(|p| m.gmalloc_on(p, 8, 8)).collect(),
             holder: Cell::new(None),
             queue: RefCell::new(VecDeque::new()),
+            held_since: Cell::new(0),
         }
     }
 
@@ -116,6 +120,7 @@ impl McsLock {
     pub async fn acquire(&self, m: &Rc<SmMachine>, cpu: &Cpu) {
         let _sc = cpu.scope(Scope::Lock);
         cpu.count(Counter::LockAcquires, 1);
+        let entry = cpu.clock();
         cpu.compute(m.config().sync_overhead);
         // Swap ourselves onto the tail (remote write transaction).
         let _prev = m
@@ -123,6 +128,7 @@ impl McsLock {
             .await;
         if self.holder.get().is_none() {
             self.holder.set(Some(cpu.id()));
+            self.trace_acquired(cpu, entry);
             return;
         }
         let cell = WaitCell::new();
@@ -132,6 +138,16 @@ impl McsLock {
         // queue node: the spin re-read is a cheap local transaction.
         m.read_u64(cpu, self.qnodes[cpu.id().index()]).await;
         debug_assert_eq!(self.holder.get(), Some(cpu.id()));
+        self.trace_acquired(cpu, entry);
+    }
+
+    fn trace_acquired(&self, cpu: &Cpu, entry: Cycles) {
+        self.held_since.set(cpu.clock());
+        if cpu.tracing() {
+            cpu.trace(TraceWhat::Instant(Mark::LockAcquire));
+            cpu.sim()
+                .trace_sample(Metric::LockWait, cpu.clock() - entry);
+        }
     }
 
     /// Releases the lock, handing it to the oldest waiter if any.
@@ -147,6 +163,11 @@ impl McsLock {
             cpu.id()
         );
         let _sc = cpu.scope(Scope::Lock);
+        if cpu.tracing() {
+            cpu.trace(TraceWhat::Instant(Mark::LockRelease));
+            cpu.sim()
+                .trace_sample(Metric::LockHold, cpu.clock() - self.held_since.get());
+        }
         cpu.compute(m.config().sync_overhead);
         let next = self.queue.borrow_mut().pop_front();
         match next {
@@ -166,7 +187,11 @@ impl McsLock {
 }
 
 fn binomial_children(v: usize, n: usize) -> Vec<usize> {
-    let lsb = if v == 0 { usize::MAX } else { v & v.wrapping_neg() };
+    let lsb = if v == 0 {
+        usize::MAX
+    } else {
+        v & v.wrapping_neg()
+    };
     let mut kids = Vec::new();
     let mut bit = 1usize;
     while bit < lsb && v + bit < n {
@@ -281,13 +306,7 @@ impl SmCollectives {
     /// waits at the barrier (so the write and its invalidations complete),
     /// then everyone reads it — the reads contend at the home directory,
     /// which is exactly the effect Table 11 measures.
-    pub async fn bcast_f64(
-        &self,
-        m: &Rc<SmMachine>,
-        cpu: &Cpu,
-        root: usize,
-        value: f64,
-    ) -> f64 {
+    pub async fn bcast_f64(&self, m: &Rc<SmMachine>, cpu: &Cpu, root: usize, value: f64) -> f64 {
         let slot = {
             let mut counts = self.my_bc.borrow_mut();
             let me = cpu.id().index();
@@ -330,7 +349,9 @@ mod tests {
         }
         let r = e.run();
         assert_eq!(
-            r.proc(ProcId::new(1)).matrix.get(Scope::Startup, Kind::Wait),
+            r.proc(ProcId::new(1))
+                .matrix
+                .get(Scope::Startup, Kind::Wait),
             10_000
         );
         assert_eq!(r.proc(ProcId::new(0)).matrix.by_scope(Scope::Startup), 0);
@@ -443,7 +464,9 @@ mod tests {
             let cpu = e.cpu(p);
             let got = Rc::clone(&got);
             e.spawn(p, async move {
-                let v = coll.bcast_f64(&m, &cpu, 3, 12.5 * ((p.index() == 3) as u64 as f64)).await;
+                let v = coll
+                    .bcast_f64(&m, &cpu, 3, 12.5 * ((p.index() == 3) as u64 as f64))
+                    .await;
                 got.borrow_mut()[p.index()] = v;
             });
         }

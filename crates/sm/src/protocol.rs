@@ -11,7 +11,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use wwt_mem::{GAddr, LineState};
-use wwt_sim::{Counter, Cpu, Kind, ProcId, WaitCell};
+use wwt_sim::{Counter, Cpu, Kind, Mark, Metric, ProcId, TraceWhat, WaitCell};
 
 use crate::machine::SmMachine;
 
@@ -87,11 +87,21 @@ impl SmMachine {
     /// `cpu`, stalling it until the response arrives. `write` selects a
     /// read-shared or write-exclusive request. The stall is charged to
     /// `kind`.
-    pub(crate) async fn transact(self: &Rc<Self>, cpu: &Cpu, block: GAddr, write: bool, kind: Kind) {
+    pub(crate) async fn transact(
+        self: &Rc<Self>,
+        cpu: &Cpu,
+        block: GAddr,
+        write: bool,
+        kind: Kind,
+    ) {
         cpu.resync().await;
         let p = cpu.id().index();
         let h = block.node();
         let cfg = *self.config();
+        let start = cpu.clock();
+        if cpu.tracing() {
+            cpu.trace(TraceWhat::Instant(Mark::MissStart { kind }));
+        }
         // Processor-side miss handling (Table 3: 19 cycles).
         cpu.charge(kind, cfg.shared_miss);
         // Request message.
@@ -100,11 +110,15 @@ impl SmMachine {
         let arrive = cpu.clock() + cfg.latency(p, h);
         let this = Rc::clone(self);
         let cell2 = cell.clone();
-        self.sim()
-            .call_at(arrive.max(self.sim().now()), move || {
-                this.dir_service(ProcId::new(p), block, write, cell2)
-            });
+        self.sim().call_at(arrive.max(self.sim().now()), move || {
+            this.dir_service(ProcId::new(p), block, write, cell2)
+        });
         cell.wait(cpu, kind).await;
+        if cpu.tracing() {
+            cpu.trace(TraceWhat::Instant(Mark::MissEnd { kind }));
+            cpu.sim()
+                .trace_sample(Metric::ShMissService, cpu.clock() - start);
+        }
     }
 
     /// Directory service for one request, at the home node. Computes the
@@ -122,7 +136,8 @@ impl SmMachine {
 
         // Helper to attribute traffic to the requester.
         let bytes = |this: &Self, data_msgs: u64, ctrl_msgs: u64| {
-            this.sim().count(req, Counter::BytesData, data_msgs * cfg.data_msg_bytes);
+            this.sim()
+                .count(req, Counter::BytesData, data_msgs * cfg.data_msg_bytes);
             this.sim().count(
                 req,
                 Counter::BytesControl,
@@ -215,7 +230,9 @@ impl SmMachine {
                     self.set_dir_busy(h, ts + occ);
                     let mut last_ack = 0;
                     for (i, &o) in others.iter().enumerate() {
-                        let inv_at = ts + cfg.dir_base + (i as u64 + 1) * cfg.dir_send_msg
+                        let inv_at = ts
+                            + cfg.dir_base
+                            + (i as u64 + 1) * cfg.dir_send_msg
                             + cfg.latency(h, o);
                         self.cache_invalidate(o, block);
                         last_ack = last_ack.max(inv_at + cfg.invalidate + cfg.latency(o, h));

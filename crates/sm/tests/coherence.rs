@@ -480,10 +480,7 @@ fn stache_refills_evicted_remote_blocks_locally() {
     };
     let (t_base, misses_base) = run_with(false);
     let (t_stache, misses_stache) = run_with(true);
-    assert!(
-        t_stache < t_base / 2,
-        "stache {t_stache} !<< base {t_base}"
-    );
+    assert!(t_stache < t_base / 2, "stache {t_stache} !<< base {t_base}");
     assert!(
         misses_stache < misses_base / 2,
         "stache remote misses {misses_stache} !<< {misses_base}"

@@ -1,0 +1,61 @@
+//! A minimal JSON writer.
+//!
+//! The exporters emit a small, fixed vocabulary of objects, so instead of
+//! a serialization framework this module provides just string escaping and
+//! a number formatter. All output is deterministic: keys are written in a
+//! fixed order by the callers, and numbers format identically run to run.
+
+/// Escapes `s` for inclusion in a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity; both
+/// become `null`).
+pub fn num_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Always include a decimal point so the value reads as a float.
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_control_characters() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(num_f64(1.5), "1.5");
+        assert_eq!(num_f64(3.0), "3.0");
+        assert_eq!(num_f64(f64::INFINITY), "null");
+        assert_eq!(num_f64(f64::NAN), "null");
+    }
+}

@@ -1,0 +1,44 @@
+//! Exporters and analysis for the engine's structured traces.
+//!
+//! The simulation engine collects [`TraceData`] (span and instant events
+//! plus latency histograms) when [`SimConfig::trace`](wwt_sim::SimConfig)
+//! is set; this crate turns that data into things people and tools read:
+//!
+//! * [`perfetto`] — Chrome trace-event / Perfetto JSON: one track per
+//!   simulated processor, spans from scope nesting, instants for packets,
+//!   misses, barriers, and locks. Load the file at <https://ui.perfetto.dev>
+//!   or `chrome://tracing`.
+//! * [`metrics`] — the latency histograms as JSON or as an ASCII table.
+//! * [`reconcile`] — recovers per-scope *self time* from the span stream
+//!   and checks it against the engine's [`CycleMatrix`](wwt_sim::CycleMatrix)
+//!   aggregates: the trace and the accounting must tell the same story.
+//!
+//! The JSON exporters are behind the default `trace-json` feature; with
+//! `--no-default-features` only [`reconcile`] remains and the crate pulls
+//! in no serialization code.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod reconcile;
+
+#[cfg(feature = "trace-json")]
+pub mod json;
+#[cfg(feature = "trace-json")]
+pub mod metrics;
+#[cfg(feature = "trace-json")]
+pub mod perfetto;
+
+pub use reconcile::{check_against_matrix, self_times, SelfTimes};
+
+#[cfg(feature = "trace-json")]
+pub use metrics::{metrics_json, metrics_table};
+#[cfg(feature = "trace-json")]
+pub use perfetto::chrome_trace_json;
+
+// Re-export the engine-side vocabulary so exporter users need only this
+// crate.
+pub use wwt_sim::{
+    Histogram, Mark, Metric, MetricsRegistry, TraceBuffer, TraceData, TraceEvent, TraceSink,
+    TraceWhat,
+};

@@ -65,10 +65,7 @@ fn run_sm() -> (f64, wwt::sim::SimReport) {
             for round in 0..ROUNDS {
                 cpu.compute(WORK + (p.index() as u64) * 100);
                 let mine = (p.index() + round) as f64;
-                let sum = coll
-                    .reduce_sum_f64(&m, &cpu, mine)
-                    .await
-                    .unwrap_or(0.0);
+                let sum = coll.reduce_sum_f64(&m, &cpu, mine).await.unwrap_or(0.0);
                 acc = coll.bcast_f64(&m, &cpu, 0, sum).await;
             }
             m.barrier(&cpu).await;
@@ -90,7 +87,10 @@ fn main() {
     let expect: f64 = (0..PROCS).map(|p| (p + ROUNDS - 1) as f64).sum();
     assert_eq!(v_mp, expect);
 
-    println!("{:<34} {:>14} {:>14}", "", "message passing", "shared memory");
+    println!(
+        "{:<34} {:>14} {:>14}",
+        "", "message passing", "shared memory"
+    );
     println!(
         "{:<34} {:>14} {:>14}",
         "elapsed (cycles)",
@@ -99,16 +99,30 @@ fn main() {
     );
     type RowFn = Box<dyn Fn(&wwt::sim::SimReport) -> u64>;
     let rows: [(&str, RowFn); 4] = [
-        ("computation", Box::new(|r| r.avg_matrix().get(Scope::App, Kind::Compute))),
-        ("collectives (reduce+bcast)", Box::new(|r| {
-            let m = r.avg_matrix();
-            m.by_scope(Scope::Reduction) + m.by_scope(Scope::Broadcast)
-        })),
-        ("network interface access", Box::new(|r| r.avg_matrix().by_kind(Kind::NetAccess))),
-        ("shared-memory misses", Box::new(|r| {
-            let m = r.avg_matrix();
-            m.by_kind(Kind::ShMissLocal) + m.by_kind(Kind::ShMissRemote) + m.by_kind(Kind::WriteFault)
-        })),
+        (
+            "computation",
+            Box::new(|r| r.avg_matrix().get(Scope::App, Kind::Compute)),
+        ),
+        (
+            "collectives (reduce+bcast)",
+            Box::new(|r| {
+                let m = r.avg_matrix();
+                m.by_scope(Scope::Reduction) + m.by_scope(Scope::Broadcast)
+            }),
+        ),
+        (
+            "network interface access",
+            Box::new(|r| r.avg_matrix().by_kind(Kind::NetAccess)),
+        ),
+        (
+            "shared-memory misses",
+            Box::new(|r| {
+                let m = r.avg_matrix();
+                m.by_kind(Kind::ShMissLocal)
+                    + m.by_kind(Kind::ShMissRemote)
+                    + m.by_kind(Kind::WriteFault)
+            }),
+        ),
     ];
     for (label, f) in rows {
         println!("{label:<34} {:>14} {:>14}", f(&r_mp), f(&r_sm));

@@ -33,7 +33,10 @@ fn main() {
         block_bytes: 32,
     };
 
-    println!("EM3D, {} nodes/side/proc, {} procs, {} iterations\n", p.e_per_proc, p.procs, p.iters);
+    println!(
+        "EM3D, {} nodes/side/proc, {} procs, {} iterations\n",
+        p.e_per_proc, p.procs, p.iters
+    );
     println!(
         "{:<44} {:>12} {:>10} {:>10}",
         "configuration", "elapsed", "remote%", "wr-faults"
@@ -57,10 +60,7 @@ fn main() {
                 ..SmConfig::default()
             },
         ),
-        (
-            "SM, 4x larger cache (Table 16)",
-            SmConfig::default(),
-        ),
+        ("SM, 4x larger cache (Table 16)", SmConfig::default()),
         (
             "SM, local allocation (Table 17)",
             SmConfig {

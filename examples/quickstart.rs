@@ -5,7 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use wwt::{run_experiment, Experiment, Scale};
+use wwt::sim::SimConfig;
+use wwt::{render_timeline, run_experiment, run_experiment_with, Experiment, Scale};
 
 fn main() {
     // Gauss at test scale runs in well under a second; pass --paper for
@@ -36,4 +37,22 @@ fn main() {
          roughly the same speed as their message-passing equivalents.",
         100.0 * t_sm / t_mp
     );
+
+    // To see *where in time* the cycles went, re-run with time-resolved
+    // profiling. render_timeline refuses a run without a profile, so
+    // SimConfig::profile_bucket must be set (the bucket is the profile
+    // resolution in cycles; the same value is passed to the renderer).
+    let bucket = match scale {
+        Scale::Paper => 200_000,
+        Scale::Test => 2_000,
+    };
+    let sim = SimConfig {
+        profile_bucket: Some(bucket),
+        ..SimConfig::default()
+    };
+    let profiled = run_experiment_with(Experiment::GaussSm, scale, sim);
+    match render_timeline(&profiled.run.report, bucket, 100) {
+        Ok(t) => println!("\n{t}"),
+        Err(e) => eprintln!("no timeline: {e}"),
+    }
 }

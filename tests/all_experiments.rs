@@ -11,7 +11,10 @@ fn every_experiment_validates_at_test_scale() {
             "{e}: {}",
             out.run.validation.detail
         );
-        assert!(!out.tables.is_empty() || !out.events.is_empty(), "{e}: no output");
+        assert!(
+            !out.tables.is_empty() || !out.events.is_empty(),
+            "{e}: no output"
+        );
         for t in &out.tables {
             assert!(t.total > 0.0, "{e}: empty table {}", t.title);
             // Top-level rows cover the total.
@@ -29,7 +32,11 @@ fn every_experiment_validates_at_test_scale() {
             );
         }
         for (label, extra) in &out.extra_runs {
-            assert!(extra.validation.passed, "{e}/{label}: {}", extra.validation.detail);
+            assert!(
+                extra.validation.passed,
+                "{e}/{label}: {}",
+                extra.validation.detail
+            );
         }
     }
 }

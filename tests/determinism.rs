@@ -45,3 +45,35 @@ fn per_processor_breakdowns_are_reproducible() {
         assert_eq!(pa.counters, pb.counters);
     }
 }
+
+/// Golden-trace determinism: two traced runs of the same experiment must
+/// serialize to byte-identical Perfetto and metrics JSON.
+#[cfg(feature = "trace-json")]
+#[test]
+fn traced_runs_export_byte_identical_json() {
+    use wwt::run_experiment_with;
+    use wwt::sim::SimConfig;
+    use wwt::trace::{chrome_trace_json, metrics_json};
+
+    let traced = || {
+        let sim = SimConfig {
+            trace: true,
+            ..SimConfig::default()
+        };
+        let out = run_experiment_with(Experiment::Em3dMp, Scale::Test, sim);
+        let report = &out.run.report;
+        let data = report.trace().expect("tracing was enabled");
+        assert!(!data.events.is_empty(), "a traced EM3D run records events");
+        (
+            chrome_trace_json(report).unwrap(),
+            metrics_json(&data.metrics),
+        )
+    };
+    let (trace_a, metrics_a) = traced();
+    let (trace_b, metrics_b) = traced();
+    assert!(trace_a == trace_b, "trace JSON must be byte-identical");
+    assert!(
+        metrics_a == metrics_b,
+        "metrics JSON must be byte-identical"
+    );
+}

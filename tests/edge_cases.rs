@@ -15,10 +15,18 @@ fn gauss_works_on_odd_machine_sizes() {
         };
         for shape in [TreeShape::Binary, TreeShape::Lopsided] {
             let r = gauss::mp::run(&p, MpConfig::default(), shape);
-            assert!(r.validation.passed, "procs={procs} {shape:?}: {}", r.validation.detail);
+            assert!(
+                r.validation.passed,
+                "procs={procs} {shape:?}: {}",
+                r.validation.detail
+            );
         }
         let r = gauss::sm::run(&p, SmConfig::default());
-        assert!(r.validation.passed, "procs={procs} sm: {}", r.validation.detail);
+        assert!(
+            r.validation.passed,
+            "procs={procs} sm: {}",
+            r.validation.detail
+        );
     }
 }
 
@@ -124,7 +132,10 @@ fn imbalance_metric_reflects_unbalanced_init() {
     // so the metric is near zero — the imbalance was absorbed as waiting.
     let p = wwt::apps::mse::MseParams::small();
     let r = wwt::apps::mse::sm::run(&p, SmConfig::default());
-    assert!(r.report.imbalance() < 0.01, "barrier equalizes final clocks");
+    assert!(
+        r.report.imbalance() < 0.01,
+        "barrier equalizes final clocks"
+    );
     assert!(
         r.report.wait_fraction() > 0.02,
         "the imbalance must re-appear as waiting: {}",

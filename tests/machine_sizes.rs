@@ -18,10 +18,10 @@ fn mp_collectives_span_128_processors() {
         let cpu = e.cpu(p);
         let total = Rc::clone(&total);
         e.spawn(p, async move {
-            let s = m
-                .reduce_sum_f64(&cpu, TreeShape::Lopsided, 0, 1.0)
+            let s = m.reduce_sum_f64(&cpu, TreeShape::Lopsided, 0, 1.0).await;
+            let v = m
+                .bcast_f64(&cpu, TreeShape::Lopsided, 0, s.unwrap_or(0.0))
                 .await;
-            let v = m.bcast_f64(&cpu, TreeShape::Lopsided, 0, s.unwrap_or(0.0)).await;
             if p.index() == 0 {
                 total.set(v);
             }

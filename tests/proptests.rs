@@ -166,8 +166,8 @@ fn sm_coherence_invariants_under_random_traffic() {
             engine.spawn(p, async move {
                 let mut rng = SmallRng::seed_from_u64(seed ^ (p.index() as u64) << 8);
                 for _ in 0..400 {
-                    let target = region[rng.gen_range(0..region.len())]
-                        .offset_by(rng.gen_range(0..64) * 8);
+                    let target =
+                        region[rng.gen_range(0..region.len())].offset_by(rng.gen_range(0..64) * 8);
                     if rng.gen_bool(0.4) {
                         m.write_u64(&cpu, target, rng.gen()).await;
                     } else {
