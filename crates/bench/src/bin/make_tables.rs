@@ -3,42 +3,66 @@
 //! Usage:
 //!
 //! ```text
-//! make_tables [--test-scale] [--timeline] [--trace OUT.json]
-//!             [--metrics OUT.json] [--json OUT.json] [experiment-id ...]
+//! make_tables [--test-scale] [--jobs N] [--no-cache] [--timeline]
+//!             [--trace OUT.json] [--metrics OUT.json] [--json OUT.json]
+//!             [experiment-id ...]
 //! ```
 //!
-//! With no experiment ids, every experiment runs (this takes a few
-//! minutes at paper scale). Ids are the values of `Experiment::id`, e.g.
-//! `mse-mp`, `gauss-ablation`, `em3d-sm-1mb`; the prefixes `mse`,
-//! `gauss`, `em3d`, `lcp` select the matching group. With `--timeline`,
-//! each selected experiment additionally prints a per-processor activity
-//! timeline (where in time the cycles went).
+//! With no experiment ids, every experiment runs. An id is either an
+//! exact `Experiment::id` (`em3d-sm` — selects exactly that experiment)
+//! or a group prefix at a `-` boundary (`em3d` — selects every `em3d-*`
+//! experiment). Each selected experiment is simulated **exactly once**
+//! with the union engine configuration for everything requested: the
+//! breakdown tables, the `--timeline` activity timelines, and the
+//! `--trace`/`--metrics`/`--json` exports all derive from that single
+//! run.
 //!
-//! `--trace` re-runs each selected experiment with structured tracing and
-//! writes a Perfetto-loadable Chrome trace-event file per experiment (the
-//! experiment id is inserted before the extension: `out.json` becomes
-//! `out-em3d-mp.json`). `--metrics` writes the latency histograms as JSON
-//! the same way and prints them as ASCII tables; `--json` writes the
-//! result tables and run summary as JSON.
+//! `--jobs N` fans the grid out over N worker threads (default: all
+//! available cores). The simulator is deterministic and results are
+//! reassembled in selection order, so stdout is byte-identical for any
+//! job count. Per-experiment wall-clock timings go to **stderr** and to
+//! `results/BENCH_grid.json` (appended per invocation) so the report text
+//! stays deterministic.
+//!
+//! Runs are cached under `results/cache/`, keyed by (experiment, scale,
+//! engine-config hash): a repeated invocation with unchanged inputs
+//! replays from disk. `--no-cache` bypasses the cache entirely.
+//!
+//! `--trace` writes a Perfetto-loadable Chrome trace-event file per
+//! experiment (the experiment id is inserted before the extension:
+//! `out.json` becomes `out-em3d-mp.json`). `--metrics` writes the latency
+//! histograms as JSON the same way and prints them as ASCII tables;
+//! `--json` writes the result tables and run summary as JSON.
 
-use wwt_bench::{full_report, timeline_report};
-use wwt_core::{Experiment, Scale};
+use std::fmt::Write as _;
+use std::path::PathBuf;
 
-/// Inserts `-{id}` before the path's extension: `out.json` + `mse-mp`
-/// becomes `out-mse-mp.json`.
+use wwt_bench::select_experiments;
+use wwt_core::{render_report, run_grid, Experiment, ExperimentArtifacts, RunnerConfig, Scale};
+
+/// Inserts `-{id}` before the final path component's extension:
+/// `out.json` + `mse-mp` becomes `out-mse-mp.json`. Dots in directory
+/// names are not extensions (`results/v1.0/out` stays in
+/// `results/v1.0/`), and neither is the leading dot of a hidden file.
 fn with_id(path: &str, id: &str) -> String {
-    match path.rsplit_once('.') {
-        Some((stem, ext)) if !stem.is_empty() && !stem.ends_with('/') => {
-            format!("{stem}-{id}.{ext}")
-        }
-        _ => format!("{path}-{id}"),
+    let (dir, file) = match path.rsplit_once('/') {
+        Some((dir, file)) => (Some(dir), file),
+        None => (None, path),
+    };
+    let tagged = match file.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}-{id}.{ext}"),
+        _ => format!("{file}-{id}"),
+    };
+    match dir {
+        Some(dir) => format!("{dir}/{tagged}"),
+        None => tagged,
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: make_tables [--test-scale] [--timeline] [--trace OUT.json] \
-         [--metrics OUT.json] [--json OUT.json] [experiment-id ...]"
+        "usage: make_tables [--test-scale] [--jobs N] [--no-cache] [--timeline] \
+         [--trace OUT.json] [--metrics OUT.json] [--json OUT.json] [experiment-id ...]"
     );
     eprintln!("experiments:");
     for e in Experiment::ALL {
@@ -47,50 +71,90 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One invocation's timing record, appended to `results/BENCH_grid.json`
+/// (`{"runs":[...]}`) so successive runs — e.g. `--jobs 1` vs `--jobs 4`
+/// — can be compared.
+fn append_bench_record(path: &str, record: &str) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let body = match std::fs::read_to_string(path) {
+        Ok(s) if s.trim_end().ends_with("]}") => {
+            let t = s.trim_end();
+            format!("{},\n{record}]}}\n", &t[..t.len() - 2].trim_end())
+        }
+        _ => format!("{{\"runs\":[\n{record}]}}\n"),
+    };
+    std::fs::write(path, body)
+}
+
+fn bench_record(
+    scale: Scale,
+    jobs: usize,
+    cache: bool,
+    total_secs: f64,
+    artifacts: &[ExperimentArtifacts],
+) -> String {
+    let mut rec = format!(
+        "{{\"scale\":\"{}\",\"jobs\":{jobs},\"cache\":{cache},\"total_wall_secs\":{total_secs:.6},\"experiments\":[",
+        scale.name()
+    );
+    for (i, a) in artifacts.iter().enumerate() {
+        if i > 0 {
+            rec.push(',');
+        }
+        let _ = write!(
+            rec,
+            "{{\"id\":\"{}\",\"wall_secs\":{:.6},\"cached\":{}}}",
+            a.experiment.id(),
+            a.wall_secs,
+            a.from_cache
+        );
+    }
+    rec.push_str("]}");
+    rec
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
+    let mut jobs = default_jobs();
+    let mut use_cache = true;
     let mut timeline = false;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut json_out: Option<String> = None;
-    let mut selected: Vec<Experiment> = Vec::new();
+    let mut selectors: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--test-scale" => scale = Scale::Test,
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--no-cache" => use_cache = false,
             "--timeline" => timeline = true,
             "--trace" => trace_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--metrics" => metrics_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--json" => json_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
-            id => {
-                let matches: Vec<Experiment> = Experiment::ALL
-                    .into_iter()
-                    .filter(|e| {
-                        e.id() == id
-                            || e.id().starts_with(&format!("{id}-"))
-                            || e.id().starts_with(id)
-                    })
-                    .collect();
-                if matches.is_empty() {
-                    eprintln!("unknown experiment '{id}' (try --help)");
-                    std::process::exit(2);
-                }
-                selected.extend(matches);
-            }
+            id => selectors.push(id.to_string()),
         }
     }
-    if selected.is_empty() {
-        selected = Experiment::ALL.to_vec();
-    }
-    selected.dedup();
-    print!("{}", full_report(&selected, scale));
-    if timeline {
-        for &e in &selected {
-            print!("{}", timeline_report(e, scale));
-        }
-    }
+    let selected = select_experiments(&selectors).unwrap_or_else(|bad| {
+        eprintln!("unknown experiment '{bad}' (try --help)");
+        std::process::exit(2);
+    });
 
     let tracing_requested = trace_out.is_some() || metrics_out.is_some() || json_out.is_some();
     #[cfg(not(feature = "trace-json"))]
@@ -98,10 +162,35 @@ fn main() {
         eprintln!("make_tables was built without the `trace-json` feature; --trace/--metrics/--json are unavailable");
         std::process::exit(2);
     }
+
+    let cfg = RunnerConfig {
+        scale,
+        jobs,
+        timeline,
+        trace: tracing_requested,
+        cache_dir: use_cache.then(|| PathBuf::from("results/cache")),
+    };
+    let start = std::time::Instant::now();
+    let artifacts = run_grid(&selected, &cfg);
+    let total_secs = start.elapsed().as_secs_f64();
+
+    print!("{}", render_report(&artifacts, scale));
+    if timeline {
+        for a in &artifacts {
+            if let Some(t) = &a.timeline {
+                print!("{t}");
+            }
+        }
+    }
+
     #[cfg(feature = "trace-json")]
     if tracing_requested {
-        for &e in &selected {
-            let tr = wwt_bench::trace_report(e, scale);
+        for a in &artifacts {
+            let e = a.experiment;
+            let tr = a
+                .trace
+                .as_ref()
+                .expect("tracing was requested, so every artifact carries exports");
             if let Some(base) = &trace_out {
                 let path = with_id(base, e.id());
                 std::fs::write(&path, &tr.perfetto)
@@ -122,5 +211,77 @@ fn main() {
                 eprintln!("wrote result json {path}");
             }
         }
+    }
+
+    // Wall-clock timings go to stderr and BENCH_grid.json, never stdout:
+    // the report text must be byte-identical across job counts and runs.
+    let hits = artifacts.iter().filter(|a| a.from_cache).count();
+    for a in &artifacts {
+        eprintln!(
+            "timing: {:<16} {:8.2}s{}",
+            a.experiment.id(),
+            a.wall_secs,
+            if a.from_cache { " (cached)" } else { "" }
+        );
+    }
+    eprintln!(
+        "timing: total {} experiments in {:.2}s (jobs={}, cache hits {hits}/{})",
+        artifacts.len(),
+        total_secs,
+        cfg.jobs,
+        artifacts.len()
+    );
+    let record = bench_record(scale, cfg.jobs, use_cache, total_secs, &artifacts);
+    if let Err(err) = append_bench_record("results/BENCH_grid.json", &record) {
+        eprintln!("could not record results/BENCH_grid.json: {err}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_id_inserts_before_the_extension() {
+        assert_eq!(with_id("out.json", "mse-mp"), "out-mse-mp.json");
+        assert_eq!(with_id("a/b/out.json", "em3d-sm"), "a/b/out-em3d-sm.json");
+    }
+
+    #[test]
+    fn with_id_ignores_dots_in_directories() {
+        assert_eq!(
+            with_id("results/v1.0/out", "mse-mp"),
+            "results/v1.0/out-mse-mp"
+        );
+        assert_eq!(
+            with_id("results/v1.0/out.json", "mse-mp"),
+            "results/v1.0/out-mse-mp.json"
+        );
+    }
+
+    #[test]
+    fn with_id_handles_extensionless_and_hidden_files() {
+        assert_eq!(with_id("trace", "lcp-mp"), "trace-lcp-mp");
+        assert_eq!(with_id(".hidden", "lcp-mp"), ".hidden-lcp-mp");
+        assert_eq!(with_id("dir/.hidden", "lcp-mp"), "dir/.hidden-lcp-mp");
+        assert_eq!(
+            with_id("dir/.hidden.json", "lcp-mp"),
+            "dir/.hidden-lcp-mp.json"
+        );
+    }
+
+    #[test]
+    fn bench_records_accumulate_as_one_json_document() {
+        let dir = std::env::temp_dir().join(format!("wwt-bench-rec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_grid.json");
+        let path = path.to_str().unwrap();
+        append_bench_record(path, "{\"jobs\":1}").unwrap();
+        append_bench_record(path, "{\"jobs\":4}").unwrap();
+        let s = std::fs::read_to_string(path).unwrap();
+        assert_eq!(s, "{\"runs\":[\n{\"jobs\":1},\n{\"jobs\":4}]}\n");
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,147 +1,96 @@
 //! Benchmark support for the WWT reproduction: shared helpers used by the
 //! Criterion benches and by the `make_tables` table-regeneration binary.
+//!
+//! The heavy lifting lives in [`wwt_core::runner`]: experiments are
+//! simulated once each (with the union engine configuration for every
+//! requested artifact), optionally in parallel and through the run
+//! cache. This crate keeps the stable convenience API — [`full_report`],
+//! [`timeline_report`], [`trace_report`] — plus the command-line
+//! experiment selection used by `make_tables`.
 
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
-use std::fmt::Write as _;
+use wwt_core::{render_report, run_grid, Experiment, RunnerConfig, Scale};
 
-use wwt_core::{
-    headline_checks, paper_reference, render_timeline, run_experiment_with, Experiment,
-    ExperimentOutput, Scale,
-};
+/// Resolves command-line experiment selectors into a run list.
+///
+/// An exact [`Experiment::id`] (`em3d-sm`) selects exactly that
+/// experiment; anything else is a group prefix that must match at a `-`
+/// boundary (`em3d` selects every `em3d-*` experiment, but `em3d-s`
+/// selects nothing). Duplicates are dropped while preserving
+/// first-occurrence order; an empty selector list selects every
+/// experiment. Unknown selectors return `Err` with the offending string.
+pub fn select_experiments<S: AsRef<str>>(selectors: &[S]) -> Result<Vec<Experiment>, String> {
+    let mut selected: Vec<Experiment> = Vec::new();
+    for sel in selectors {
+        let sel = sel.as_ref();
+        let matches: Vec<Experiment> = match Experiment::from_id(sel) {
+            Some(e) => vec![e],
+            None => {
+                let prefix = format!("{sel}-");
+                Experiment::ALL
+                    .into_iter()
+                    .filter(|e| e.id().starts_with(&prefix))
+                    .collect()
+            }
+        };
+        if matches.is_empty() {
+            return Err(sel.to_string());
+        }
+        for e in matches {
+            if !selected.contains(&e) {
+                selected.push(e);
+            }
+        }
+    }
+    if selected.is_empty() {
+        selected = Experiment::ALL.to_vec();
+    }
+    Ok(selected)
+}
 
 /// Runs a set of experiments and renders the full report: measured tables,
 /// the paper's published values alongside, and the headline shape checks.
 pub fn full_report(experiments: &[Experiment], scale: Scale) -> String {
-    let mut results: HashMap<Experiment, ExperimentOutput> = HashMap::new();
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "WWT reproduction — {} scale\n{}",
-        match scale {
-            Scale::Paper => "paper",
-            Scale::Test => "test",
-        },
-        "=".repeat(70)
-    );
-    for &e in experiments {
-        let r = wwt_core::run_experiment(e, scale);
-        let _ = writeln!(out, "\n### {} ({})", e.id(), e.paper_tables());
-        let _ = writeln!(
-            out,
-            "validation: {} — {}",
-            if r.run.validation.passed {
-                "PASS"
-            } else {
-                "FAIL"
-            },
-            r.run.validation.detail
-        );
-        for (name, v) in &r.run.stats {
-            let _ = writeln!(out, "stat: {name} = {v}");
-        }
-        let _ = writeln!(
-            out,
-            "load imbalance: {:.1}%; waiting: {:.0}% of all cycles",
-            100.0 * r.run.report.imbalance(),
-            100.0 * r.run.report.wait_fraction()
-        );
-        for t in &r.tables {
-            let _ = writeln!(out, "\n{t}");
-        }
-        for t in &r.events {
-            let _ = writeln!(out, "\n{t}");
-        }
-        results.insert(e, r);
-    }
-
-    let _ = writeln!(
-        out,
-        "\n{}\nPaper-published values (for comparison)\n{0}",
-        "-".repeat(70)
-    );
-    for t in paper_reference() {
-        if results.contains_key(&t.experiment) {
-            let _ = writeln!(
-                out,
-                "\nPaper Table {}: {} (total {:.1}M)",
-                t.number, t.title, t.total
-            );
-            for (label, v) in t.rows {
-                let _ = writeln!(out, "  {label:<28} {v:>8.1}M {:>4.0}%", 100.0 * v / t.total);
-            }
-        }
-    }
-
-    let _ = writeln!(out, "\n{}\nHeadline shape checks\n{0}", "-".repeat(70));
-    let checks = headline_checks(&results);
-    let passed = checks.iter().filter(|c| c.pass).count();
-    for c in &checks {
-        let _ = writeln!(out, "\n{c}");
-    }
-    let _ = writeln!(out, "\n{passed}/{} headline checks pass", checks.len());
-    out
+    let cfg = RunnerConfig::new(scale);
+    let artifacts = run_grid(experiments, &cfg);
+    render_report(&artifacts, scale)
 }
 
-/// Re-runs one experiment with time-resolved profiling and renders its
+/// Runs one experiment with time-resolved profiling and renders its
 /// per-processor activity timeline.
 pub fn timeline_report(e: Experiment, scale: Scale) -> String {
-    // Pick a bucket that yields a few hundred samples at either scale.
-    let bucket = match scale {
-        Scale::Paper => 200_000,
-        Scale::Test => 2_000,
+    let cfg = RunnerConfig {
+        timeline: true,
+        ..RunnerConfig::new(scale)
     };
-    let sim = wwt_core::sim::SimConfig {
-        profile_bucket: Some(bucket),
-        ..wwt_core::sim::SimConfig::default()
-    };
-    let out = run_experiment_with(e, scale, sim);
-    let timeline = render_timeline(&out.run.report, bucket, 100)
-        .expect("run was profiled, so a timeline must render");
-    format!(
-        "
-### {} — timeline
-{}",
-        e.id(),
-        timeline
-    )
+    let artifacts = run_grid(&[e], &cfg);
+    artifacts
+        .into_iter()
+        .next()
+        .and_then(|a| a.timeline)
+        .expect("timeline was requested, so the artifact must carry one")
 }
 
 /// Everything a trace-enabled run exports (the `--trace`/`--metrics`
 /// outputs of `make_tables`).
 #[cfg(feature = "trace-json")]
-#[derive(Clone, Debug)]
-pub struct TraceReport {
-    /// Chrome trace-event / Perfetto JSON.
-    pub perfetto: String,
-    /// Latency histograms as JSON.
-    pub metrics_json: String,
-    /// Latency histograms as an ASCII table.
-    pub metrics_table: String,
-    /// The experiment result (tables, validation, summary) as JSON.
-    pub experiment_json: String,
-}
+pub use wwt_core::TraceArtifacts as TraceReport;
 
-/// Re-runs one experiment with structured tracing enabled and exports the
+/// Runs one experiment with structured tracing enabled and exports the
 /// trace, the latency histograms, and the result tables.
 #[cfg(feature = "trace-json")]
 pub fn trace_report(e: Experiment, scale: Scale) -> TraceReport {
-    use wwt_core::trace;
-
-    let sim = wwt_core::sim::SimConfig {
+    let cfg = RunnerConfig {
         trace: true,
-        ..wwt_core::sim::SimConfig::default()
+        ..RunnerConfig::new(scale)
     };
-    let out = run_experiment_with(e, scale, sim);
-    let report = &out.run.report;
-    let data = report.trace().expect("tracing was enabled");
-    TraceReport {
-        perfetto: trace::chrome_trace_json(report).expect("tracing was enabled"),
-        metrics_json: trace::metrics_json(&data.metrics),
-        metrics_table: trace::metrics_table(&data.metrics),
-        experiment_json: wwt_core::experiment_json(&out),
-    }
+    let artifacts = run_grid(&[e], &cfg);
+    artifacts
+        .into_iter()
+        .next()
+        .and_then(|a| a.trace)
+        .expect("tracing was requested, so the artifact must carry exports")
 }
 
 #[cfg(test)]
@@ -162,5 +111,54 @@ mod tests {
         assert!(s.contains("Computation"));
         assert!(s.contains("headline checks pass"));
         assert!(s.contains("Paper Table 8"));
+    }
+
+    #[cfg(feature = "trace-json")]
+    #[test]
+    fn trace_report_exports_every_artifact() {
+        let tr = trace_report(Experiment::LcpMp, Scale::Test);
+        assert!(tr.perfetto.contains("traceEvents"));
+        assert!(tr.metrics_json.starts_with('{'));
+        assert!(!tr.metrics_table.is_empty());
+        assert!(tr.experiment_json.starts_with("{\"experiment\":\"lcp-mp\""));
+    }
+
+    #[test]
+    fn exact_id_selects_exactly_one_experiment() {
+        assert_eq!(
+            select_experiments(&["em3d-sm"]).unwrap(),
+            vec![Experiment::Em3dSm]
+        );
+        assert_eq!(
+            select_experiments(&["gauss-sm"]).unwrap(),
+            vec![Experiment::GaussSm],
+            "gauss-sm must not drag in gauss-sm-push"
+        );
+    }
+
+    #[test]
+    fn group_prefix_selects_the_whole_group_at_dash_boundaries() {
+        let em3d = select_experiments(&["em3d"]).unwrap();
+        assert_eq!(em3d.len(), 8, "{em3d:?}");
+        assert!(em3d.iter().all(|e| e.id().starts_with("em3d-")));
+        // A partial word is not a group.
+        assert_eq!(select_experiments(&["em3d-s"]), Err("em3d-s".to_string()));
+        assert_eq!(select_experiments(&["em3"]), Err("em3".to_string()));
+    }
+
+    #[test]
+    fn duplicates_are_dropped_preserving_first_occurrence_order() {
+        let got = select_experiments(&["mse-mp", "gauss-mp", "mse-mp"]).unwrap();
+        assert_eq!(got, vec![Experiment::MseMp, Experiment::GaussMp]);
+        // Overlapping group + exact id dedups too.
+        let got = select_experiments(&["gauss-mp", "gauss"]).unwrap();
+        assert_eq!(got[0], Experiment::GaussMp);
+        assert_eq!(got.len(), 4, "{got:?}");
+    }
+
+    #[test]
+    fn empty_selection_runs_everything() {
+        let got = select_experiments::<&str>(&[]).unwrap();
+        assert_eq!(got, Experiment::ALL.to_vec());
     }
 }

@@ -1,0 +1,476 @@
+//! The persistent run cache: experiment artifacts keyed by
+//! (experiment, scale, engine-config hash).
+//!
+//! A paper-scale grid takes minutes; most `make_tables` invocations
+//! re-run experiments whose inputs did not change. The runner therefore
+//! persists each experiment's [`ExperimentArtifacts`] — the reportable
+//! summary plus any rendered timeline/trace artifacts — to one file per
+//! (experiment, scale, config) triple and replays it on the next
+//! invocation.
+//!
+//! Two properties carry the design:
+//!
+//! * **Exactness.** Every `f64` is stored as its IEEE-754 bit pattern, so
+//!   a report rendered from a cached summary is byte-identical to one
+//!   rendered from the fresh run (the simulator itself is deterministic,
+//!   so the cached numbers *are* the numbers a re-run would produce).
+//! * **Invalidation by construction.** The file name embeds an FNV-1a
+//!   hash of the full engine configuration (quantum, seed, profiling,
+//!   tracing) plus a format version; changing any of them simply misses
+//!   the cache, and stale entries are inert.
+//!
+//! The format is a versioned, line-oriented text file with length-
+//! prefixed blobs for rendered artifacts. Any parse failure — truncation,
+//! version skew, hand-editing — is treated as a cache miss, never an
+//! error.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::experiment::{Experiment, ExperimentSummary, Scale};
+use crate::runner::ExperimentArtifacts;
+use crate::table::{BreakdownTable, EventTable, Row};
+
+/// Bump when the serialization format or the meaning of cached fields
+/// changes; old entries then miss instead of misparsing.
+const FORMAT_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cache key hash: experiment, scale, full engine config, format
+/// version. `SimConfig` is `Copy + Debug` with stable field order, so its
+/// debug rendering is a faithful canonical form.
+pub fn config_hash(e: Experiment, scale: Scale, sim: &wwt_sim::SimConfig) -> u64 {
+    let key = format!("v{FORMAT_VERSION}|{}|{}|{:?}", e.id(), scale.name(), sim);
+    fnv1a(key.as_bytes())
+}
+
+/// The cache file path for one (experiment, scale, config) triple.
+pub fn entry_path(dir: &Path, e: Experiment, scale: Scale, sim: &wwt_sim::SimConfig) -> PathBuf {
+    dir.join(format!(
+        "{}-{}-{:016x}.run",
+        e.id(),
+        scale.name(),
+        config_hash(e, scale, sim)
+    ))
+}
+
+fn push_f64(out: &mut String, tag: &str, v: f64) {
+    let _ = writeln!(out, "{tag} {:016x}", v.to_bits());
+}
+
+fn push_blob(out: &mut String, name: &str, body: &str) {
+    let _ = writeln!(out, "blob {name} {}", body.len());
+    out.push_str(body);
+    out.push('\n');
+}
+
+/// Serializes one artifact set. Returns `None` when the data cannot be
+/// represented (a newline inside a single-line field) — the caller just
+/// skips caching that run.
+fn serialize(a: &ExperimentArtifacts) -> Option<String> {
+    let s = &a.summary;
+    let single_line = |t: &str| !t.contains('\n');
+    if !single_line(&s.validation_detail)
+        || s.stats.iter().any(|(n, _)| !single_line(n))
+        || s.tables
+            .iter()
+            .any(|t| !single_line(&t.title) || t.rows.iter().any(|r| !single_line(&r.label)))
+        || s.events
+            .iter()
+            .any(|t| !single_line(&t.title) || t.rows.iter().any(|(l, _)| !single_line(l)))
+    {
+        return None;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "wwt-run-cache {FORMAT_VERSION}");
+    let _ = writeln!(out, "experiment {}", s.experiment.id());
+    let _ = writeln!(out, "scale {}", s.scale.name());
+    let _ = writeln!(out, "passed {}", s.validation_passed);
+    let _ = writeln!(out, "detail {}", s.validation_detail);
+    push_f64(&mut out, "imbalance", s.imbalance);
+    push_f64(&mut out, "wait", s.wait_fraction);
+    push_f64(&mut out, "wall", a.wall_secs);
+    let _ = writeln!(out, "stats {}", s.stats.len());
+    for (name, v) in &s.stats {
+        let _ = writeln!(out, "stat {:016x} {name}", v.to_bits());
+    }
+    let _ = writeln!(out, "tables {}", s.tables.len());
+    for t in &s.tables {
+        let _ = writeln!(
+            out,
+            "table {} {:016x} {}",
+            t.rows.len(),
+            t.total.to_bits(),
+            t.title
+        );
+        for r in &t.rows {
+            let _ = writeln!(
+                out,
+                "row {} {:016x} {}",
+                r.indent,
+                r.cycles.to_bits(),
+                r.label
+            );
+        }
+    }
+    let _ = writeln!(out, "events {}", s.events.len());
+    for t in &s.events {
+        let _ = writeln!(out, "event {} {}", t.rows.len(), t.title);
+        for (label, v) in &t.rows {
+            let _ = writeln!(out, "erow {:016x} {label}", v.to_bits());
+        }
+    }
+    if let Some(t) = &a.timeline {
+        push_blob(&mut out, "timeline", t);
+    }
+    #[cfg(feature = "trace-json")]
+    if let Some(t) = &a.trace {
+        push_blob(&mut out, "perfetto", &t.perfetto);
+        push_blob(&mut out, "metrics_json", &t.metrics_json);
+        push_blob(&mut out, "metrics_table", &t.metrics_table);
+        push_blob(&mut out, "experiment_json", &t.experiment_json);
+    }
+    out.push_str("end\n");
+    Some(out)
+}
+
+/// Persists one artifact set. Best-effort: errors (and unrepresentable
+/// data) are reported but expected to be ignored by the caller.
+pub fn save(dir: &Path, a: &ExperimentArtifacts, sim: &wwt_sim::SimConfig) -> std::io::Result<()> {
+    let Some(body) = serialize(a) else {
+        return Ok(()); // unrepresentable: skip caching, never fail the run
+    };
+    fs::create_dir_all(dir)?;
+    let path = entry_path(dir, a.experiment, a.summary.scale, sim);
+    // Write-then-rename so a concurrent reader never sees a torn entry.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    fs::write(&tmp, body)?;
+    fs::rename(&tmp, &path)
+}
+
+/// A forgiving cursor over the cache text. Every accessor returns
+/// `Option`; `None` anywhere surfaces as a cache miss.
+struct Cursor<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn line(&mut self) -> Option<&'a str> {
+        let (line, rest) = self.rest.split_once('\n')?;
+        self.rest = rest;
+        Some(line)
+    }
+
+    /// Next line, split as `tag rest-of-line` with the given tag.
+    fn tagged(&mut self, tag: &str) -> Option<&'a str> {
+        let line = self.line()?;
+        let (t, rest) = line.split_once(' ').unwrap_or((line, ""));
+        (t == tag).then_some(rest)
+    }
+
+    fn f64_field(&mut self, tag: &str) -> Option<f64> {
+        let bits = u64::from_str_radix(self.tagged(tag)?, 16).ok()?;
+        Some(f64::from_bits(bits))
+    }
+
+    fn count(&mut self, tag: &str) -> Option<usize> {
+        self.tagged(tag)?.parse().ok()
+    }
+
+    /// Takes exactly `len` bytes followed by a newline.
+    fn blob_body(&mut self, len: usize) -> Option<&'a str> {
+        if !self.rest.is_char_boundary(len) || self.rest.len() < len + 1 {
+            return None;
+        }
+        let (body, rest) = self.rest.split_at(len);
+        let rest = rest.strip_prefix('\n')?;
+        self.rest = rest;
+        Some(body)
+    }
+}
+
+/// `bits label` → (label, value).
+fn labeled_f64(line: &str) -> Option<(String, f64)> {
+    let (bits, label) = line.split_once(' ')?;
+    let v = f64::from_bits(u64::from_str_radix(bits, 16).ok()?);
+    Some((label.to_string(), v))
+}
+
+fn parse(text: &str, e: Experiment, scale: Scale) -> Option<ExperimentArtifacts> {
+    let mut c = Cursor { rest: text };
+    let version: u32 = c.tagged("wwt-run-cache")?.parse().ok()?;
+    if version != FORMAT_VERSION {
+        return None;
+    }
+    if c.tagged("experiment")? != e.id() || c.tagged("scale")? != scale.name() {
+        return None;
+    }
+    let validation_passed = match c.tagged("passed")? {
+        "true" => true,
+        "false" => false,
+        _ => return None,
+    };
+    let validation_detail = c.tagged("detail")?.to_string();
+    let imbalance = c.f64_field("imbalance")?;
+    let wait_fraction = c.f64_field("wait")?;
+    let wall_secs = c.f64_field("wall")?;
+
+    let nstats = c.count("stats")?;
+    let mut stats = Vec::with_capacity(nstats);
+    for _ in 0..nstats {
+        stats.push(labeled_f64(c.tagged("stat")?)?);
+    }
+
+    let ntables = c.count("tables")?;
+    let mut tables = Vec::with_capacity(ntables);
+    for _ in 0..ntables {
+        let header = c.tagged("table")?;
+        let (nrows, header) = header.split_once(' ')?;
+        let (total_bits, title) = header.split_once(' ')?;
+        let nrows: usize = nrows.parse().ok()?;
+        let total = f64::from_bits(u64::from_str_radix(total_bits, 16).ok()?);
+        let mut rows = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            let line = c.tagged("row")?;
+            let (indent, line) = line.split_once(' ')?;
+            let (label, cycles) = labeled_f64(line)?;
+            rows.push(Row {
+                label,
+                cycles,
+                indent: indent.parse().ok()?,
+            });
+        }
+        tables.push(BreakdownTable {
+            title: title.to_string(),
+            rows,
+            total,
+        });
+    }
+
+    let nevents = c.count("events")?;
+    let mut events = Vec::with_capacity(nevents);
+    for _ in 0..nevents {
+        let header = c.tagged("event")?;
+        let (nrows, title) = header.split_once(' ')?;
+        let nrows: usize = nrows.parse().ok()?;
+        let mut rows = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            rows.push(labeled_f64(c.tagged("erow")?)?);
+        }
+        events.push(EventTable {
+            title: title.to_string(),
+            rows,
+        });
+    }
+
+    let mut timeline = None;
+    let mut blobs: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = c.line()?;
+        if line == "end" {
+            break;
+        }
+        let rest = line.strip_prefix("blob ")?;
+        let (name, len) = rest.split_once(' ')?;
+        let body = c.blob_body(len.parse().ok()?)?.to_string();
+        if name == "timeline" {
+            timeline = Some(body);
+        } else {
+            blobs.push((name.to_string(), body));
+        }
+    }
+
+    #[cfg(feature = "trace-json")]
+    let trace = {
+        let take = |name: &str| {
+            blobs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, b)| b.clone())
+        };
+        match (
+            take("perfetto"),
+            take("metrics_json"),
+            take("metrics_table"),
+            take("experiment_json"),
+        ) {
+            (Some(perfetto), Some(metrics_json), Some(metrics_table), Some(experiment_json)) => {
+                Some(crate::runner::TraceArtifacts {
+                    perfetto,
+                    metrics_json,
+                    metrics_table,
+                    experiment_json,
+                })
+            }
+            _ => None,
+        }
+    };
+    #[cfg(not(feature = "trace-json"))]
+    let _ = blobs;
+
+    Some(ExperimentArtifacts {
+        experiment: e,
+        summary: ExperimentSummary {
+            experiment: e,
+            scale,
+            validation_passed,
+            validation_detail,
+            stats,
+            imbalance,
+            wait_fraction,
+            tables,
+            events,
+        },
+        timeline,
+        #[cfg(feature = "trace-json")]
+        trace,
+        wall_secs,
+        from_cache: true,
+    })
+}
+
+/// Loads the cached artifacts for one (experiment, scale, config) triple.
+/// Any missing, truncated, or version-skewed entry is a miss (`None`).
+pub fn load(
+    dir: &Path,
+    e: Experiment,
+    scale: Scale,
+    sim: &wwt_sim::SimConfig,
+) -> Option<ExperimentArtifacts> {
+    let text = fs::read_to_string(entry_path(dir, e, scale, sim)).ok()?;
+    parse(&text, e, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_artifacts() -> ExperimentArtifacts {
+        ExperimentArtifacts {
+            experiment: Experiment::GaussMp,
+            summary: ExperimentSummary {
+                experiment: Experiment::GaussMp,
+                scale: Scale::Test,
+                validation_passed: true,
+                validation_detail: "residual 1.2e-9 below 1e-6".into(),
+                stats: vec![("steps".into(), 43.0), ("residual".into(), 1.25e-9)],
+                imbalance: 0.0123456789,
+                wait_fraction: 0.25,
+                tables: vec![BreakdownTable {
+                    title: "Gauss-MP (Tables 8 and 10)".into(),
+                    rows: vec![
+                        Row {
+                            label: "Computation".into(),
+                            cycles: 40.8e6,
+                            indent: 0,
+                        },
+                        Row {
+                            label: "Lib Comp".into(),
+                            cycles: 23.6e6,
+                            indent: 1,
+                        },
+                    ],
+                    total: 71.0e6,
+                }],
+                events: vec![EventTable {
+                    title: "Gauss-MP — events".into(),
+                    rows: vec![("Messages Sent".into(), 1234.5)],
+                }],
+            },
+            timeline: Some("\n### gauss-mp — timeline\nP0 |##SS|\n".into()),
+            #[cfg(feature = "trace-json")]
+            trace: None,
+            wall_secs: 1.5,
+            from_cache: false,
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let a = sample_artifacts();
+        let text = serialize(&a).unwrap();
+        let b = parse(&text, a.experiment, a.summary.scale).unwrap();
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(a.wall_secs, b.wall_secs);
+        assert!(b.from_cache);
+    }
+
+    #[test]
+    fn round_trips_non_finite_and_exact_bits() {
+        let mut a = sample_artifacts();
+        a.summary.stats = vec![
+            ("inf".into(), f64::INFINITY),
+            ("tiny".into(), 5e-324),
+            ("neg".into(), -0.0),
+        ];
+        let text = serialize(&a).unwrap();
+        let b = parse(&text, a.experiment, a.summary.scale).unwrap();
+        for ((_, x), (_, y)) in a.summary.stats.iter().zip(&b.summary.stats) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_or_mismatched_entries_miss() {
+        let a = sample_artifacts();
+        let text = serialize(&a).unwrap();
+        assert!(parse(&text[..text.len() / 2], a.experiment, Scale::Test).is_none());
+        assert!(parse(&text, Experiment::GaussSm, Scale::Test).is_none());
+        assert!(parse(&text, a.experiment, Scale::Paper).is_none());
+        assert!(parse("wwt-run-cache 999\n", a.experiment, Scale::Test).is_none());
+        assert!(parse("", a.experiment, Scale::Test).is_none());
+    }
+
+    #[test]
+    fn config_hash_separates_engine_configs() {
+        let base = wwt_sim::SimConfig::default();
+        let traced = wwt_sim::SimConfig {
+            trace: true,
+            ..base
+        };
+        let profiled = wwt_sim::SimConfig {
+            profile_bucket: Some(2_000),
+            ..base
+        };
+        let e = Experiment::Em3dSm;
+        let h = |sim: &wwt_sim::SimConfig| config_hash(e, Scale::Test, sim);
+        assert_ne!(h(&base), h(&traced));
+        assert_ne!(h(&base), h(&profiled));
+        assert_ne!(
+            config_hash(Experiment::Em3dSm, Scale::Test, &base),
+            config_hash(Experiment::Em3dMp, Scale::Test, &base)
+        );
+        assert_ne!(
+            config_hash(e, Scale::Test, &base),
+            config_hash(e, Scale::Paper, &base)
+        );
+    }
+
+    #[test]
+    fn save_and_load_through_the_filesystem() {
+        let dir = std::env::temp_dir().join(format!("wwt-cache-unit-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let a = sample_artifacts();
+        let sim = wwt_sim::SimConfig::default();
+        assert!(load(&dir, a.experiment, Scale::Test, &sim).is_none());
+        save(&dir, &a, &sim).unwrap();
+        let b = load(&dir, a.experiment, Scale::Test, &sim).unwrap();
+        assert_eq!(a.summary, b.summary);
+        // A different engine config misses.
+        let traced = wwt_sim::SimConfig { trace: true, ..sim };
+        assert!(load(&dir, a.experiment, Scale::Test, &traced).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

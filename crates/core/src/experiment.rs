@@ -2,6 +2,7 @@
 //! evaluation, runnable at paper scale or test scale.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use wwt_apps::common::AppRun;
 use wwt_apps::{em3d, gauss, lcp, mse};
@@ -149,6 +150,16 @@ pub enum Scale {
     Test,
 }
 
+impl Scale {
+    /// Stable lowercase name (used in reports, exports, and cache keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Test => "test",
+        }
+    }
+}
+
 /// Everything an experiment run produces.
 #[derive(Clone, Debug)]
 pub struct ExperimentOutput {
@@ -165,6 +176,61 @@ pub struct ExperimentOutput {
     pub tables: Vec<BreakdownTable>,
     /// Paper-style per-processor event tables.
     pub events: Vec<EventTable>,
+}
+
+impl ExperimentOutput {
+    /// Projects the run into its reportable [`ExperimentSummary`]: every
+    /// number the report renderer and the headline checks consume, and
+    /// nothing tied to the live engine state. Summaries round-trip through
+    /// the run cache exactly, so a report built from cached summaries is
+    /// byte-identical to one built from fresh runs.
+    pub fn summary(&self) -> ExperimentSummary {
+        ExperimentSummary {
+            experiment: self.experiment,
+            scale: self.scale,
+            validation_passed: self.run.validation.passed,
+            validation_detail: self.run.validation.detail.clone(),
+            stats: self.run.stats.clone(),
+            imbalance: self.run.report.imbalance(),
+            wait_fraction: self.run.report.wait_fraction(),
+            tables: self.tables.clone(),
+            events: self.events.clone(),
+        }
+    }
+}
+
+/// The reportable projection of an [`ExperimentOutput`]: validation,
+/// stats, load balance, and the paper-style tables — everything the
+/// report renderer and [`crate::headline_checks`] need, detached from the
+/// engine's [`wwt_sim::SimReport`] so it can be persisted and reloaded by
+/// the run cache.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentSummary {
+    /// Which experiment ran.
+    pub experiment: Experiment,
+    /// At which scale.
+    pub scale: Scale,
+    /// Did the run's self-validation pass?
+    pub validation_passed: bool,
+    /// Human-readable validation detail.
+    pub validation_detail: String,
+    /// Application-level stats, in recorded order.
+    pub stats: Vec<(String, f64)>,
+    /// Load imbalance across processors (fraction).
+    pub imbalance: f64,
+    /// Waiting cycles as a fraction of all cycles.
+    pub wait_fraction: f64,
+    /// Paper-style breakdown tables.
+    pub tables: Vec<BreakdownTable>,
+    /// Paper-style per-processor event tables.
+    pub events: Vec<EventTable>,
+}
+
+impl ExperimentSummary {
+    /// An application stat by name, if recorded.
+    pub fn stat(&self, name: &str) -> Option<f64> {
+        self.stats.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
 }
 
 fn mse_params(scale: Scale) -> mse::MseParams {
@@ -195,7 +261,13 @@ fn lcp_params(scale: Scale) -> lcp::LcpParams {
     }
 }
 
-fn whole_program_mp(e: Experiment, run: AppRun, comm_label: &str, title: &str) -> ExperimentOutput {
+fn whole_program_mp(
+    e: Experiment,
+    scale: Scale,
+    run: AppRun,
+    comm_label: &str,
+    title: &str,
+) -> ExperimentOutput {
     let avg = run.report.avg_matrix();
     let totals = run.report.counters_merged();
     let n = run.report.nprocs();
@@ -203,7 +275,7 @@ fn whole_program_mp(e: Experiment, run: AppRun, comm_label: &str, title: &str) -
     let events = vec![events_mp(&format!("{title} — events"), &avg, &totals, n)];
     ExperimentOutput {
         experiment: e,
-        scale: Scale::Paper, // overwritten by caller
+        scale,
         run,
         extra_runs: Vec::new(),
         tables,
@@ -211,7 +283,7 @@ fn whole_program_mp(e: Experiment, run: AppRun, comm_label: &str, title: &str) -
     }
 }
 
-fn whole_program_sm(e: Experiment, run: AppRun, title: &str) -> ExperimentOutput {
+fn whole_program_sm(e: Experiment, scale: Scale, run: AppRun, title: &str) -> ExperimentOutput {
     let avg = run.report.avg_matrix();
     let totals = run.report.counters_merged();
     let n = run.report.nprocs();
@@ -219,7 +291,7 @@ fn whole_program_sm(e: Experiment, run: AppRun, title: &str) -> ExperimentOutput
     let events = vec![events_sm(&format!("{title} — events"), &avg, &totals, n)];
     ExperimentOutput {
         experiment: e,
-        scale: Scale::Paper,
+        scale,
         run,
         extra_runs: Vec::new(),
         tables,
@@ -247,18 +319,48 @@ fn add_phase_tables(out: &mut ExperimentOutput, title: &str, sm: bool) {
         .push(mk(&format!("{title} — initialization"), &init_m));
     out.tables
         .push(mk(&format!("{title} — main loop"), &main_m));
-    let ev = if sm {
-        events_sm(&format!("{title} — main loop events"), &main_m, &main_c, n)
+    // The paper splits EM3D's event tables by phase as well (the
+    // initialization phase communicates very differently from the main
+    // loop), so emit both.
+    let (ev_init, ev_main) = if sm {
+        (
+            events_sm(
+                &format!("{title} — initialization events"),
+                &init_m,
+                &init_c,
+                n,
+            ),
+            events_sm(&format!("{title} — main loop events"), &main_m, &main_c, n),
+        )
     } else {
-        events_mp(&format!("{title} — main loop events"), &main_m, &main_c, n)
+        (
+            events_mp(
+                &format!("{title} — initialization events"),
+                &init_m,
+                &init_c,
+                n,
+            ),
+            events_mp(&format!("{title} — main loop events"), &main_m, &main_c, n),
+        )
     };
-    out.events.push(ev);
-    let _ = init_c;
+    out.events.push(ev_init);
+    out.events.push(ev_main);
 }
 
 /// Runs one experiment at the given scale.
 pub fn run_experiment(e: Experiment, scale: Scale) -> ExperimentOutput {
     run_experiment_with(e, scale, wwt_sim::SimConfig::default())
+}
+
+static SIMULATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of experiment simulations performed (calls to
+/// [`run_experiment`] / [`run_experiment_with`]). A diagnostic hook: the
+/// runner's tests use it to assert that one `make_tables` invocation
+/// simulates each experiment exactly once, however many artifacts it
+/// exports.
+pub fn simulations_performed() -> u64 {
+    SIMULATIONS.load(Ordering::Relaxed)
 }
 
 /// Runs one experiment with explicit engine settings (e.g. time-resolved
@@ -268,6 +370,7 @@ pub fn run_experiment_with(
     scale: Scale,
     sim: wwt_sim::SimConfig,
 ) -> ExperimentOutput {
+    SIMULATIONS.fetch_add(1, Ordering::Relaxed);
     let mp_base = MpConfig {
         sim,
         ..MpConfig::default()
@@ -276,26 +379,30 @@ pub fn run_experiment_with(
         sim,
         ..SmConfig::default()
     };
-    let mut out = match e {
+    match e {
         Experiment::MseMp => whole_program_mp(
             e,
+            scale,
             mse::mp::run(&mse_params(scale), mp_base),
             "Communication",
             "MSE-MP (Microstructure Electrostatics, Message Passing)",
         ),
         Experiment::MseSm => whole_program_sm(
             e,
+            scale,
             mse::sm::run(&mse_params(scale), sm_base),
             "MSE-SM (Microstructure Electrostatics, Shared Memory)",
         ),
         Experiment::GaussMp => whole_program_mp(
             e,
+            scale,
             gauss::mp::run(&gauss_params(scale), mp_base, TreeShape::Lopsided),
             "Broadcast/Reduction",
             "Gauss-MP (Gaussian Elimination, Message Passing)",
         ),
         Experiment::GaussSm => whole_program_sm(
             e,
+            scale,
             gauss::sm::run(&gauss_params(scale), sm_base),
             "Gauss-SM (Gaussian Elimination, Shared Memory)",
         ),
@@ -337,6 +444,7 @@ pub fn run_experiment_with(
             };
             whole_program_sm(
                 e,
+                scale,
                 gauss::sm::run(&params, sm_base),
                 "Gauss-SM, push-broadcast pivot rows",
             )
@@ -344,6 +452,7 @@ pub fn run_experiment_with(
         Experiment::Em3dMp => {
             let mut out = whole_program_mp(
                 e,
+                scale,
                 em3d::mp::run(&em3d_params(scale), mp_base),
                 "Communication",
                 "EM3D-MP (Electromagnetic Propagation, Message Passing)",
@@ -354,6 +463,7 @@ pub fn run_experiment_with(
         Experiment::Em3dSm => {
             let mut out = whole_program_sm(
                 e,
+                scale,
                 em3d::sm::run(&em3d_params(scale), sm_base),
                 "EM3D-SM (Electromagnetic Propagation, Shared Memory)",
             );
@@ -367,6 +477,7 @@ pub fn run_experiment_with(
             };
             let mut out = whole_program_sm(
                 e,
+                scale,
                 em3d::sm::run(&em3d_params(scale), cfg),
                 "EM3D-SM, 1 MB cache",
             );
@@ -380,6 +491,7 @@ pub fn run_experiment_with(
             };
             let mut out = whole_program_sm(
                 e,
+                scale,
                 em3d::sm::run(&em3d_params(scale), cfg),
                 "EM3D-SM, local allocation",
             );
@@ -398,6 +510,7 @@ pub fn run_experiment_with(
             };
             let mut out = whole_program_sm(
                 e,
+                scale,
                 em3d::sm::run(&em3d_params(scale), cfg),
                 "EM3D-SM, bulk-update protocol",
             );
@@ -415,6 +528,7 @@ pub fn run_experiment_with(
             };
             let mut out = whole_program_sm(
                 e,
+                scale,
                 em3d::sm::run(&params, cfg),
                 "EM3D-SM, consumer flush hint (+ local allocation)",
             );
@@ -432,6 +546,7 @@ pub fn run_experiment_with(
             };
             let mut out = whole_program_sm(
                 e,
+                scale,
                 em3d::sm::run(&params, cfg),
                 "EM3D-SM, cooperative prefetch (+ local allocation)",
             );
@@ -448,6 +563,7 @@ pub fn run_experiment_with(
             };
             let mut out = whole_program_sm(
                 e,
+                scale,
                 em3d::sm::run(&em3d_params(scale), cfg),
                 "EM3D-SM, Stache policy",
             );
@@ -456,30 +572,31 @@ pub fn run_experiment_with(
         }
         Experiment::LcpMp => whole_program_mp(
             e,
+            scale,
             lcp::mp::run(&lcp_params(scale), mp_base, lcp::LcpMode::Synchronous),
             "Communication",
             "LCP-MP (Linear Complementarity, Message Passing)",
         ),
         Experiment::LcpSm => whole_program_sm(
             e,
+            scale,
             lcp::sm::run(&lcp_params(scale), sm_base, lcp::LcpMode::Synchronous),
             "LCP-SM (Linear Complementarity, Shared Memory)",
         ),
         Experiment::AlcpMp => whole_program_mp(
             e,
+            scale,
             lcp::mp::run(&lcp_params(scale), mp_base, lcp::LcpMode::Asynchronous),
             "Communication",
             "ALCP-MP (Asynchronous LCP, Message Passing)",
         ),
         Experiment::AlcpSm => whole_program_sm(
             e,
+            scale,
             lcp::sm::run(&lcp_params(scale), sm_base, lcp::LcpMode::Asynchronous),
             "ALCP-SM (Asynchronous LCP, Shared Memory)",
         ),
-    };
-    out.scale = scale;
-    out.experiment = e;
-    out
+    }
 }
 
 #[cfg(test)]
@@ -519,6 +636,41 @@ mod tests {
             (init + main - whole).abs() / whole < 0.05,
             "phases {init}+{main} != total {whole}"
         );
+        // Event tables split by phase too: whole-program + init + main.
+        assert_eq!(out.events.len(), 3, "whole-program + init + main events");
+        let ev_init = &out.events[1];
+        let ev_main = &out.events[2];
+        assert!(
+            ev_init.title.contains("initialization events"),
+            "{}",
+            ev_init.title
+        );
+        assert!(
+            ev_main.title.contains("main loop events"),
+            "{}",
+            ev_main.title
+        );
+        // EM3D's init phase builds the bipartite graph and exchanges
+        // boundary descriptions — it must record real events, not zeros.
+        assert!(
+            ev_init.rows.iter().any(|&(_, v)| v > 0.0),
+            "init phase recorded no events: {ev_init}"
+        );
+    }
+
+    #[test]
+    fn summary_projects_the_reportable_fields() {
+        let out = run_experiment(Experiment::GaussSm, Scale::Test);
+        let s = out.summary();
+        assert_eq!(s.experiment, Experiment::GaussSm);
+        assert_eq!(s.scale, Scale::Test);
+        assert_eq!(s.validation_passed, out.run.validation.passed);
+        assert_eq!(s.tables, out.tables);
+        assert_eq!(s.events, out.events);
+        assert_eq!(s.imbalance, out.run.report.imbalance());
+        for (name, v) in &out.run.stats {
+            assert_eq!(s.stat(name), Some(*v));
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 
 use wwt_trace::json::{escape, num_f64};
 
-use crate::experiment::{ExperimentOutput, Scale};
+use crate::experiment::ExperimentOutput;
 use crate::table::{BreakdownTable, EventTable};
 
 /// Serializes one breakdown table.
@@ -68,10 +68,7 @@ pub fn experiment_json(out: &ExperimentOutput) -> String {
          \"imbalance\":{},\"wait_fraction\":{},\
          \"validation\":{{\"passed\":{},\"detail\":\"{}\"}},",
         out.experiment.id(),
-        match out.scale {
-            Scale::Paper => "paper",
-            Scale::Test => "test",
-        },
+        out.scale.name(),
         escape(out.experiment.paper_tables()),
         r.nprocs(),
         r.elapsed(),
@@ -109,7 +106,7 @@ pub fn experiment_json(out: &ExperimentOutput) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{run_experiment, Experiment};
+    use crate::experiment::{run_experiment, Experiment, Scale};
 
     #[test]
     fn experiment_json_contains_tables_and_summary() {

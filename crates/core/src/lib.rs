@@ -22,17 +22,27 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod experiment;
 #[cfg(feature = "trace-json")]
 pub mod export;
 pub mod paper;
+pub mod runner;
 pub mod table;
 pub mod timeline;
 
-pub use experiment::{run_experiment, run_experiment_with, Experiment, ExperimentOutput, Scale};
+pub use experiment::{
+    run_experiment, run_experiment_with, simulations_performed, Experiment, ExperimentOutput,
+    ExperimentSummary, Scale,
+};
 #[cfg(feature = "trace-json")]
 pub use export::{breakdown_json, experiment_json};
 pub use paper::{headline_checks, paper_reference, HeadlineCheck, PaperTable};
+#[cfg(feature = "trace-json")]
+pub use runner::TraceArtifacts;
+pub use runner::{
+    render_report, render_section, run_grid, timeline_bucket, ExperimentArtifacts, RunnerConfig,
+};
 pub use table::{
     breakdown_mp, breakdown_sm, events_mp, events_sm, BreakdownTable, EventTable, Row,
 };

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::experiment::{Experiment, ExperimentOutput};
+use crate::experiment::{Experiment, ExperimentSummary};
 
 /// One of the paper's tables, as published (cycle values in millions).
 #[derive(Clone, Debug, PartialEq)]
@@ -210,11 +210,11 @@ impl fmt::Display for HeadlineCheck {
     }
 }
 
-fn total(out: &ExperimentOutput) -> f64 {
+fn total(out: &ExperimentSummary) -> f64 {
     out.tables.first().map(|t| t.total).unwrap_or(0.0)
 }
 
-fn computation(out: &ExperimentOutput) -> f64 {
+fn computation(out: &ExperimentSummary) -> f64 {
     out.tables
         .first()
         .and_then(|t| t.row("Computation"))
@@ -223,8 +223,10 @@ fn computation(out: &ExperimentOutput) -> f64 {
 
 /// Evaluates every headline conclusion of the paper against the
 /// experiments present in `results` (checks whose inputs are missing are
-/// skipped).
-pub fn headline_checks(results: &HashMap<Experiment, ExperimentOutput>) -> Vec<HeadlineCheck> {
+/// skipped). Takes [`ExperimentSummary`] values — the cache-stable
+/// projection of a run — so checks render identically whether the runs
+/// were fresh or replayed from the run cache.
+pub fn headline_checks(results: &HashMap<Experiment, ExperimentSummary>) -> Vec<HeadlineCheck> {
     let mut checks = Vec::new();
     let get = |e: Experiment| results.get(&e);
 
@@ -319,9 +321,9 @@ pub fn headline_checks(results: &HashMap<Experiment, ExperimentOutput>) -> Vec<H
         ("SM", Experiment::LcpSm, Experiment::AlcpSm, false),
     ] {
         if let (Some(s), Some(a)) = (get(sync), get(async_)) {
-            let ss = s.run.stat("steps").unwrap_or(0.0);
-            let sa = a.run.stat("steps").unwrap_or(0.0);
-            let bytes = |o: &ExperimentOutput| {
+            let ss = s.stat("steps").unwrap_or(0.0);
+            let sa = a.stat("steps").unwrap_or(0.0);
+            let bytes = |o: &ExperimentSummary| {
                 o.events
                     .first()
                     .and_then(|t| t.row("Bytes Transmitted"))
@@ -508,7 +510,7 @@ mod tests {
             Experiment::AlcpMp,
             Experiment::AlcpSm,
         ] {
-            results.insert(e, run_experiment(e, Scale::Test));
+            results.insert(e, run_experiment(e, Scale::Test).summary());
         }
         let checks = headline_checks(&results);
         let alcp: Vec<&HeadlineCheck> = checks
@@ -516,7 +518,7 @@ mod tests {
             .filter(|c| c.name.starts_with("ALCP"))
             .collect();
         assert_eq!(alcp.len(), 2);
-        let steps = |e: Experiment| results[&e].run.stat("steps").unwrap();
+        let steps = |e: Experiment| results[&e].stat("steps").unwrap();
         assert!(steps(Experiment::AlcpMp) < steps(Experiment::LcpMp));
         assert!(steps(Experiment::AlcpSm) < steps(Experiment::LcpSm));
     }
