@@ -162,28 +162,37 @@ pub fn run(p: &Em3dParams, mcfg: MpConfig) -> AppRun {
                     continue;
                 }
                 if in_info_len[q] > 0 {
-                    chan_info_in[q] = Some(m.channel_open_recv(
-                        &cpu,
-                        ProcId::new(q),
-                        info_scratch,
-                        (in_info_len[q] as u64 * INFO_BYTES) as u32,
-                    ));
+                    chan_info_in[q] = Some(
+                        m.channel_open_recv(
+                            &cpu,
+                            ProcId::new(q),
+                            info_scratch,
+                            (in_info_len[q] as u64 * INFO_BYTES) as u32,
+                        )
+                        .expect("capacity within the channel limit"),
+                    );
                 }
                 if ghost_len(q, Side::E) > 0 {
-                    chan_e_in[q] = Some(m.channel_open_recv(
-                        &cpu,
-                        ProcId::new(q),
-                        ghost_e[q],
-                        (ghost_len(q, Side::E) * 8) as u32,
-                    ));
+                    chan_e_in[q] = Some(
+                        m.channel_open_recv(
+                            &cpu,
+                            ProcId::new(q),
+                            ghost_e[q],
+                            (ghost_len(q, Side::E) * 8) as u32,
+                        )
+                        .expect("capacity within the channel limit"),
+                    );
                 }
                 if ghost_len(q, Side::H) > 0 {
-                    chan_h_in[q] = Some(m.channel_open_recv(
-                        &cpu,
-                        ProcId::new(q),
-                        ghost_h[q],
-                        (ghost_len(q, Side::H) * 8) as u32,
-                    ));
+                    chan_h_in[q] = Some(
+                        m.channel_open_recv(
+                            &cpu,
+                            ProcId::new(q),
+                            ghost_h[q],
+                            (ghost_len(q, Side::H) * 8) as u32,
+                        )
+                        .expect("capacity within the channel limit"),
+                    );
                 }
             }
             let mut out_info: Vec<Option<SendChannel>> = vec![None; np];

@@ -71,12 +71,15 @@ pub fn run(p: &LcpParams, mcfg: MpConfig, mode: LcpMode) -> AppRun {
                         let partner = me ^ (1 << k);
                         let seg = nloc << k;
                         let pg = ((me >> k) << k) ^ (1 << k);
-                        stage_in.push(m.channel_open_recv(
-                            &cpu,
-                            ProcId::new(partner),
-                            z_buf + (pg * nloc * 8) as u64,
-                            (seg * 8) as u32,
-                        ));
+                        stage_in.push(
+                            m.channel_open_recv(
+                                &cpu,
+                                ProcId::new(partner),
+                                z_buf + (pg * nloc * 8) as u64,
+                                (seg * 8) as u32,
+                            )
+                            .expect("capacity within the channel limit"),
+                        );
                     }
                     for k in 0..stages {
                         let partner = me ^ (1 << k);
@@ -86,12 +89,15 @@ pub fn run(p: &LcpParams, mcfg: MpConfig, mode: LcpMode) -> AppRun {
                 LcpMode::Asynchronous => {
                     for src in 0..np {
                         if src != me {
-                            star_in[src] = Some(m.channel_open_recv(
-                                &cpu,
-                                ProcId::new(src),
-                                z_buf + (src * nloc * 8) as u64,
-                                block_bytes as u32,
-                            ));
+                            star_in[src] = Some(
+                                m.channel_open_recv(
+                                    &cpu,
+                                    ProcId::new(src),
+                                    z_buf + (src * nloc * 8) as u64,
+                                    block_bytes as u32,
+                                )
+                                .expect("capacity within the channel limit"),
+                            );
                         }
                     }
                     for dst in 0..np {

@@ -124,12 +124,15 @@ pub fn run(p: &MseParams, mcfg: MpConfig) -> AppRun {
             let mut chan_in: Vec<Option<ChannelId>> = vec![None; np];
             for o in 0..np {
                 if o != me {
-                    chan_in[o] = Some(m.channel_open_recv(
-                        &cpu,
-                        ProcId::new(o),
-                        z_all + (o * nb * mm * 8) as u64,
-                        (nb * mm * 8) as u32,
-                    ));
+                    chan_in[o] = Some(
+                        m.channel_open_recv(
+                            &cpu,
+                            ProcId::new(o),
+                            z_all + (o * nb * mm * 8) as u64,
+                            (nb * mm * 8) as u32,
+                        )
+                        .expect("capacity within the channel limit"),
+                    );
                 }
             }
             for r in 0..np {

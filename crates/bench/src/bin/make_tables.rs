@@ -5,7 +5,7 @@
 //! ```text
 //! make_tables [--test-scale] [--jobs N] [--no-cache] [--timeline]
 //!             [--trace OUT.json] [--metrics OUT.json] [--json OUT.json]
-//!             [experiment-id ...]
+//!             [--faults SPEC] [experiment-id ...]
 //! ```
 //!
 //! With no experiment ids, every experiment runs. An id is either an
@@ -27,6 +27,18 @@
 //! Runs are cached under `results/cache/`, keyed by (experiment, scale,
 //! engine-config hash): a repeated invocation with unchanged inputs
 //! replays from disk. `--no-cache` bypasses the cache entirely.
+//!
+//! `--faults SPEC` runs every experiment under a deterministic
+//! fault-injection plan, e.g.
+//! `--faults seed=7,drop=0.01,dup=0.001,reorder=0.005,jitter=500`,
+//! optionally with `fail=PROC@FROM..UNTIL` (a processor's packets are
+//! dropped in both directions inside the window) and
+//! `slow=PROC@FROM..UNTILxFACTOR` (its computation runs FACTOR× slower).
+//! The MP machine recovers through its reliable-delivery layer (the
+//! `Retries` table row); the SM machine degrades the plan into shared-miss
+//! latency jitter. The plan is part of the engine configuration, so it
+//! participates in the run-cache key and identical seeds replay
+//! byte-identically.
 //!
 //! `--trace` writes a Perfetto-loadable Chrome trace-event file per
 //! experiment (the experiment id is inserted before the extension:
@@ -62,7 +74,9 @@ fn with_id(path: &str, id: &str) -> String {
 fn usage() -> ! {
     eprintln!(
         "usage: make_tables [--test-scale] [--jobs N] [--no-cache] [--timeline] \
-         [--trace OUT.json] [--metrics OUT.json] [--json OUT.json] [experiment-id ...]"
+         [--trace OUT.json] [--metrics OUT.json] [--json OUT.json] \
+         [--faults seed=S,drop=P,dup=P,reorder=P,jitter=CYCLES,\
+         fail=PROC@FROM..UNTIL,slow=PROC@FROM..UNTILxFACTOR] [experiment-id ...]"
     );
     eprintln!("experiments:");
     for e in Experiment::ALL {
@@ -130,6 +144,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut json_out: Option<String> = None;
+    let mut faults: Option<wwt_core::sim::FaultConfig> = None;
     let mut selectors: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -147,6 +162,16 @@ fn main() {
             "--trace" => trace_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--metrics" => metrics_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--json" => json_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--faults" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                match wwt_core::sim::FaultConfig::parse(spec) {
+                    Ok(cfg) => faults = Some(cfg),
+                    Err(err) => {
+                        eprintln!("invalid --faults spec: {err}");
+                        usage();
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             id => selectors.push(id.to_string()),
         }
@@ -169,6 +194,7 @@ fn main() {
         timeline,
         trace: tracing_requested,
         cache_dir: use_cache.then(|| PathBuf::from("results/cache")),
+        faults,
     };
     let start = std::time::Instant::now();
     let artifacts = run_grid(&selected, &cfg);

@@ -342,14 +342,35 @@ fn parse(text: &str, e: Experiment, scale: Scale) -> Option<ExperimentArtifacts>
 
 /// Loads the cached artifacts for one (experiment, scale, config) triple.
 /// Any missing, truncated, or version-skewed entry is a miss (`None`).
+/// A file that exists but cannot be read or parsed additionally warns on
+/// stderr — the entry is damaged, not merely absent — and the runner then
+/// re-simulates and overwrites it.
 pub fn load(
     dir: &Path,
     e: Experiment,
     scale: Scale,
     sim: &wwt_sim::SimConfig,
 ) -> Option<ExperimentArtifacts> {
-    let text = fs::read_to_string(entry_path(dir, e, scale, sim)).ok()?;
-    parse(&text, e, scale)
+    let path = entry_path(dir, e, scale, sim);
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(err) => {
+            eprintln!(
+                "warning: run cache entry {} is unreadable ({err}); re-running",
+                path.display()
+            );
+            return None;
+        }
+    };
+    let parsed = parse(&text, e, scale);
+    if parsed.is_none() {
+        eprintln!(
+            "warning: run cache entry {} is truncated or corrupt; re-running",
+            path.display()
+        );
+    }
+    parsed
 }
 
 #[cfg(test)]
@@ -456,6 +477,27 @@ mod tests {
             config_hash(e, Scale::Test, &base),
             config_hash(e, Scale::Paper, &base)
         );
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss_not_a_panic() {
+        let dir = std::env::temp_dir().join(format!("wwt-cache-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let a = sample_artifacts();
+        let sim = wwt_sim::SimConfig::default();
+        save(&dir, &a, &sim).unwrap();
+        let path = entry_path(&dir, a.experiment, Scale::Test, &sim);
+        let text = fs::read_to_string(&path).unwrap();
+        // Truncated entry: miss, never a panic or error.
+        fs::write(&path, &text[..text.len() / 3]).unwrap();
+        assert!(load(&dir, a.experiment, Scale::Test, &sim).is_none());
+        // Arbitrary garbage: same.
+        fs::write(&path, b"not a cache file\x00\xff garbage").unwrap();
+        assert!(load(&dir, a.experiment, Scale::Test, &sim).is_none());
+        // A fresh save repairs the entry.
+        save(&dir, &a, &sim).unwrap();
+        assert!(load(&dir, a.experiment, Scale::Test, &sim).is_some());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub struct RunnerConfig {
     /// When set, persist and reuse per-experiment artifacts under this
     /// directory (created on demand).
     pub cache_dir: Option<PathBuf>,
+    /// Deterministic fault-injection plan, applied to every experiment.
+    /// Participates in the run-cache key (through the engine
+    /// configuration), so faulted and fault-free artifacts never mix.
+    pub faults: Option<wwt_sim::FaultConfig>,
 }
 
 impl RunnerConfig {
@@ -71,6 +75,7 @@ impl RunnerConfig {
             timeline: false,
             trace: false,
             cache_dir: None,
+            faults: None,
         }
     }
 
@@ -80,6 +85,11 @@ impl RunnerConfig {
         wwt_sim::SimConfig {
             profile_bucket: self.timeline.then(|| timeline_bucket(self.scale)),
             trace: self.trace && cfg!(feature = "trace-json"),
+            faults: self.faults,
+            // Faulted runs can stall in ways fault-free runs cannot
+            // (e.g. a permanent fail window silences one node), so give
+            // them a progress watchdog instead of an open-ended hang.
+            watchdog: self.faults.is_some().then_some(10_000_000),
             ..wwt_sim::SimConfig::default()
         }
     }

@@ -11,7 +11,7 @@
 
 use std::rc::Rc;
 
-use wwt_sim::{Counter, Cpu, Kind, ProcId};
+use wwt_sim::{Counter, Cpu, Kind, ProcId, SimError};
 
 use crate::machine::MpMachine;
 use crate::packet::{tag, Packet, PACKET_PAYLOAD_BYTES};
@@ -54,21 +54,24 @@ impl MpMachine {
     /// Opens a receive channel from `src` into `[buf_off, buf_off + capacity)`
     /// of the caller's local memory and announces it to the sender.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `capacity` exceeds the 64 KB per-message limit implied by
-    /// the packet index field.
+    /// Returns [`SimError::Config`] if `capacity` exceeds the 64 KB
+    /// per-message limit implied by the packet index field.
     pub fn channel_open_recv(
         self: &Rc<Self>,
         cpu: &Cpu,
         src: ProcId,
         buf_off: u64,
         capacity: u32,
-    ) -> ChannelId {
-        assert!(
-            capacity as u64 <= (IDX_MASK as u64 + 1) * PACKET_PAYLOAD_BYTES as u64,
-            "channel capacity {capacity} too large"
-        );
+    ) -> Result<ChannelId, SimError> {
+        let max = (IDX_MASK as u64 + 1) * PACKET_PAYLOAD_BYTES as u64;
+        if capacity as u64 > max {
+            return Err(SimError::Config(format!(
+                "channel capacity {capacity} exceeds the {max}-byte \
+                 per-message limit of the packet index field"
+            )));
+        }
         let _lib = self.lib_scope(cpu);
         cpu.compute(self.config().chan_write_overhead);
         let id = {
@@ -94,9 +97,10 @@ impl MpMachine {
                 words: [capacity, 0, 0, 0],
                 data_bytes: 0,
                 sent_at: 0,
+                seq: 0,
             },
         );
-        id
+        Ok(id)
     }
 
     /// Waits for a channel announcement from `dest` and returns the bound
@@ -161,6 +165,7 @@ impl MpMachine {
                     words,
                     data_bytes: chunk,
                     sent_at: 0,
+                    seq: 0,
                 },
             );
         }
@@ -174,6 +179,7 @@ impl MpMachine {
                 words: [bytes, 0, 0, 0],
                 data_bytes: 0,
                 sent_at: 0,
+                seq: 0,
             },
         );
     }
@@ -269,7 +275,9 @@ mod tests {
         let m1 = Rc::clone(&m);
         let c1 = e.cpu(ProcId::new(1));
         e.spawn(ProcId::new(1), async move {
-            let id = m1.channel_open_recv(&c1, ProcId::new(0), dst_buf, (n * 8) as u32);
+            let id = m1
+                .channel_open_recv(&c1, ProcId::new(0), dst_buf, (n * 8) as u32)
+                .expect("capacity within the channel limit");
             let got = m1.channel_wait(&c1, id).await;
             assert_eq!(got, (n * 8) as u32);
         });
@@ -307,7 +315,9 @@ mod tests {
         let m1 = Rc::clone(&m);
         let c1 = e.cpu(ProcId::new(1));
         e.spawn(ProcId::new(1), async move {
-            let id = m1.channel_open_recv(&c1, ProcId::new(0), dst_buf, 64);
+            let id = m1
+                .channel_open_recv(&c1, ProcId::new(0), dst_buf, 64)
+                .expect("capacity within the channel limit");
             for _ in 0..rounds {
                 assert_eq!(m1.channel_wait(&c1, id).await, 64);
             }
@@ -332,7 +342,9 @@ mod tests {
         let m1 = Rc::clone(&m);
         let c1 = e.cpu(ProcId::new(1));
         e.spawn(ProcId::new(1), async move {
-            let id = m1.channel_open_recv(&c1, ProcId::new(0), dst_buf, 8);
+            let id = m1
+                .channel_open_recv(&c1, ProcId::new(0), dst_buf, 8)
+                .expect("capacity within the channel limit");
             assert_eq!(m1.channel_wait(&c1, id).await, 8);
         });
         let r = e.run();
@@ -357,7 +369,9 @@ mod tests {
         let m1 = Rc::clone(&m);
         let c1 = e.cpu(ProcId::new(1));
         e.spawn(ProcId::new(1), async move {
-            let id = m1.channel_open_recv(&c1, ProcId::new(0), dst_buf, 64);
+            let id = m1
+                .channel_open_recv(&c1, ProcId::new(0), dst_buf, 64)
+                .expect("capacity within the channel limit");
             m1.channel_wait(&c1, id).await;
         });
         e.run();

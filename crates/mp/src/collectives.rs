@@ -195,6 +195,7 @@ impl MpMachine {
                     words: acc,
                     data_bytes: 8,
                     sent_at: 0,
+                    seq: 0,
                 },
             );
             None
@@ -248,6 +249,7 @@ impl MpMachine {
                     words: w,
                     data_bytes: 8,
                     sent_at: 0,
+                    seq: 0,
                 },
             );
         }
@@ -375,6 +377,7 @@ impl MpMachine {
                             words,
                             data_bytes: chunk,
                             sent_at: 0,
+                            seq: 0,
                         },
                     );
                 }
@@ -449,6 +452,7 @@ impl MpMachine {
                     words: pkt.words,
                     data_bytes: pkt.data_bytes,
                     sent_at: 0,
+                    seq: 0,
                 },
             );
         }

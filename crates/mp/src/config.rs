@@ -65,6 +65,21 @@ pub struct MpConfig {
     /// collectives; a few hundred cycles reproduces its first two
     /// (flat and binary-tree, CMMD-level) attempts.
     pub collective_msg_overhead: Cycles,
+    /// Reliable-delivery base retransmit timeout, in cycles since the last
+    /// acknowledgement progress. Must comfortably exceed one round trip
+    /// (2 × `net_latency` plus ACK generation) or the sender retransmits
+    /// packets that were never lost. Only used when fault injection
+    /// activates the reliable-delivery layer.
+    pub retry_timeout: Cycles,
+    /// Multiplier applied to the retransmit timeout after every expiry
+    /// (exponential backoff).
+    pub retry_backoff: u32,
+    /// Cap on the backed-off retransmit timeout.
+    pub retry_timeout_max: Cycles,
+    /// NI cost charged (to the `retry` category) per retransmitted packet.
+    pub retry_packet_cost: Cycles,
+    /// NI cost charged (to the `retry` category) per ACK/NACK generated.
+    pub ack_cost: Cycles,
 }
 
 impl Default for MpConfig {
@@ -92,6 +107,11 @@ impl Default for MpConfig {
             reduce_combine: 12,
             ni_accept_gap: 0,
             collective_msg_overhead: 0,
+            retry_timeout: 1_000,
+            retry_backoff: 2,
+            retry_timeout_max: 16_000,
+            retry_packet_cost: 20,
+            ack_cost: 10,
         }
     }
 }

@@ -8,8 +8,8 @@ use std::rc::Rc;
 
 use wwt_mem::{touch, AccessKind, Cache, NodeMem, Tlb, TouchOutcome};
 use wwt_sim::{
-    Counter, Cpu, Cycles, Engine, HwBarrier, Kind, Mark, Metric, ProcId, Scope, ScopeGuard, Sim,
-    TraceWhat, WaitCell,
+    Counter, Cpu, Cycles, Engine, HwBarrier, Kind, Mark, Metric, PacketFate, ProcId, Scope,
+    ScopeGuard, Sim, TraceWhat, WaitCell, WaitTarget,
 };
 
 use crate::channel::{ChannelId, RecvChannel};
@@ -72,6 +72,23 @@ pub(crate) struct MpNode {
     pub(crate) sync_recvs: Vec<PendingRecv>,
     pub(crate) sync_acks: Vec<(ProcId, u32, u32)>,
     pub(crate) sync_waiters: Vec<(ChannelId, WaitCell, u32)>,
+    // Reliable-delivery state (touched only when the fault plan perturbs
+    // the network; all-zero otherwise).
+    /// Next sequence number to stamp, per destination.
+    pub(crate) tx_seq: Vec<u64>,
+    /// Next sequence number expected, per source (go-back-N receiver).
+    pub(crate) rx_expected: Vec<u64>,
+    /// Sent-but-unacknowledged packet copies, per destination.
+    pub(crate) unacked: Vec<VecDeque<Packet>>,
+    /// Whether a retransmit-timer event is scheduled, per destination.
+    pub(crate) rtx_armed: Vec<bool>,
+    /// Current retransmit deadline, per destination.
+    pub(crate) rtx_deadline: Vec<Cycles>,
+    /// Current (backed-off) retransmit timeout, per destination.
+    pub(crate) rtx_timeout: Vec<Cycles>,
+    /// Last time a retransmission round was injected, per destination
+    /// (suppresses NACK-triggered retransmit storms within a round trip).
+    pub(crate) rtx_last: Vec<Cycles>,
 }
 
 impl MpNode {
@@ -96,6 +113,13 @@ impl MpNode {
             sync_recvs: Vec::new(),
             sync_acks: Vec::new(),
             sync_waiters: Vec::new(),
+            tx_seq: vec![0; nprocs],
+            rx_expected: vec![0; nprocs],
+            unacked: (0..nprocs).map(|_| VecDeque::new()).collect(),
+            rtx_armed: vec![false; nprocs],
+            rtx_deadline: vec![0; nprocs],
+            rtx_timeout: vec![config.retry_timeout; nprocs],
+            rtx_last: vec![0; nprocs],
         }
     }
 }
@@ -113,6 +137,11 @@ pub struct MpMachine {
     barrier: HwBarrier,
     /// Cached [`Sim::tracing`] (single branch on packet paths when off).
     tracing: bool,
+    /// Whether the reliable-delivery layer is active: true exactly when
+    /// the fault plan can perturb network traffic. When false, packets
+    /// carry no sequence numbers, no ACKs flow, and no timers arm — runs
+    /// are byte-identical to the pre-fault-injection machine.
+    reliable: bool,
 }
 
 impl fmt::Debug for MpMachine {
@@ -131,6 +160,7 @@ impl MpMachine {
         let n = sim.nprocs();
         let seed = sim.config().seed;
         let tracing = sim.tracing();
+        let reliable = sim.config().faults.is_some_and(|f| f.perturbs_network());
         Rc::new(MpMachine {
             sim,
             nodes: RefCell::new(
@@ -142,6 +172,7 @@ impl MpMachine {
             config,
             handlers: RefCell::new(HashMap::new()),
             tracing,
+            reliable,
         })
     }
 
@@ -293,8 +324,17 @@ impl MpMachine {
                 tag: pkt.tag,
             }));
         }
-        let this = Rc::clone(self);
-        let mut arrival = (cpu.clock() + self.config.net_latency).max(cpu.now());
+        if self.reliable {
+            self.track_unacked(&mut pkt, cpu.clock());
+        }
+        self.inject(pkt, cpu.clock());
+    }
+
+    /// Puts `pkt` on the wire at `depart`, consulting the fault plan for
+    /// its fate. Computes the arrival time (network latency plus the
+    /// optional congestion model) and schedules [`MpMachine::deliver`].
+    fn inject(self: &Rc<Self>, pkt: Packet, depart: Cycles) {
+        let mut arrival = (depart + self.config.net_latency).max(self.sim.now());
         if self.config.ni_accept_gap > 0 {
             // First-order congestion: the destination NI accepts at most
             // one packet per gap; later packets queue in the network.
@@ -303,10 +343,83 @@ impl MpMachine {
             arrival = arrival.max(dest.ni_free);
             dest.ni_free = arrival + self.config.ni_accept_gap;
         }
-        self.sim.call_at(arrival, move || this.deliver(pkt));
+        if self.reliable {
+            match self.sim.fault_fate(pkt.src, pkt.dest) {
+                PacketFate::Drop => {
+                    if self.tracing {
+                        self.sim.trace(
+                            pkt.src,
+                            self.sim.now(),
+                            TraceWhat::Instant(Mark::FaultDrop {
+                                peer: pkt.dest,
+                                tag: pkt.tag,
+                            }),
+                        );
+                    }
+                    return;
+                }
+                PacketFate::Duplicate { extra } => {
+                    if self.tracing {
+                        self.sim.trace(
+                            pkt.src,
+                            self.sim.now(),
+                            TraceWhat::Instant(Mark::FaultDup {
+                                peer: pkt.dest,
+                                tag: pkt.tag,
+                            }),
+                        );
+                    }
+                    let this = Rc::clone(self);
+                    self.sim
+                        .call_at(arrival + extra, move || this.deliver(pkt))
+                        .expect("arrival is clamped to the present");
+                }
+                PacketFate::Deliver { extra } => {
+                    if extra > 0 && self.tracing {
+                        self.sim.trace(
+                            pkt.src,
+                            self.sim.now(),
+                            TraceWhat::Instant(Mark::FaultDelay {
+                                peer: pkt.dest,
+                                extra,
+                            }),
+                        );
+                    }
+                    arrival += extra;
+                }
+            }
+        }
+        let this = Rc::clone(self);
+        self.sim
+            .call_at(arrival, move || this.deliver(pkt))
+            .expect("arrival is clamped to the present");
     }
 
-    fn deliver(&self, pkt: Packet) {
+    fn deliver(self: &Rc<Self>, pkt: Packet) {
+        if self.reliable {
+            match pkt.tag {
+                tag::ACK => return self.handle_ack(&pkt),
+                tag::NACK => return self.handle_nack(&pkt),
+                _ => {
+                    // Go-back-N receiver: accept exactly the next expected
+                    // sequence number; re-ACK duplicates, NACK gaps.
+                    let expected =
+                        self.nodes.borrow()[pkt.dest.index()].rx_expected[pkt.src.index()];
+                    if pkt.seq < expected {
+                        // Duplicate of something already delivered.
+                        self.send_ctl(pkt.dest, pkt.src, tag::ACK, expected);
+                        return;
+                    }
+                    if pkt.seq > expected {
+                        // Gap: an earlier packet was lost or reordered away.
+                        self.send_ctl(pkt.dest, pkt.src, tag::NACK, expected);
+                        return;
+                    }
+                    self.nodes.borrow_mut()[pkt.dest.index()].rx_expected[pkt.src.index()] += 1;
+                    self.send_ctl(pkt.dest, pkt.src, tag::ACK, pkt.seq + 1);
+                }
+            }
+        }
         if self.tracing {
             self.sim.trace(
                 pkt.dest,
@@ -325,6 +438,195 @@ impl MpMachine {
         };
         if let Some(cell) = cell {
             cell.complete(&self.sim, self.sim.now());
+        }
+    }
+
+    // ----- reliable delivery ------------------------------------------------
+
+    /// Stamps `pkt` with the next sequence number for its destination,
+    /// remembers a copy for retransmission, and (re)arms the per-destination
+    /// retransmit timer.
+    fn track_unacked(self: &Rc<Self>, pkt: &mut Packet, at: Cycles) {
+        let src = pkt.src;
+        let d = pkt.dest.index();
+        let (arm, deadline) = {
+            let mut nodes = self.nodes.borrow_mut();
+            let node = &mut nodes[src.index()];
+            pkt.seq = node.tx_seq[d];
+            node.tx_seq[d] += 1;
+            node.unacked[d].push_back(*pkt);
+            let deadline = at.max(self.sim.now()) + node.rtx_timeout[d];
+            node.rtx_deadline[d] = deadline;
+            let arm = !node.rtx_armed[d];
+            node.rtx_armed[d] = true;
+            (arm, deadline)
+        };
+        if arm {
+            let this = Rc::clone(self);
+            let dest = pkt.dest;
+            self.sim
+                .call_at(deadline, move || this.retransmit_timer(src, dest))
+                .expect("deadline is in the future");
+        }
+    }
+
+    /// Emits a zero-payload ACK/NACK control packet carrying the cumulative
+    /// next-expected sequence number. Control packets are unsequenced and
+    /// themselves subject to the fault plan (a lost ACK is recovered by the
+    /// sender's retransmit timer).
+    fn send_ctl(self: &Rc<Self>, from: ProcId, to: ProcId, t: u8, ack: u64) {
+        self.sim
+            .charge_callback(from, Kind::Retry, self.config.ack_cost);
+        let counter = if t == tag::ACK {
+            Counter::AcksSent
+        } else {
+            Counter::NacksSent
+        };
+        self.sim.count(from, counter, 1);
+        self.sim.count(from, Counter::PacketsSent, 1);
+        self.sim
+            .count(from, Counter::BytesControl, PACKET_BYTES as u64);
+        let pkt = Packet {
+            src: from,
+            dest: to,
+            tag: t,
+            meta: 0,
+            words: [(ack & 0xffff_ffff) as u32, (ack >> 32) as u32, 0, 0],
+            data_bytes: 0,
+            sent_at: self.sim.now(),
+            seq: 0,
+        };
+        self.inject(pkt, self.sim.now());
+    }
+
+    /// Handles a cumulative ACK at the original sender (`pkt.dest`):
+    /// everything below the carried sequence number is delivered.
+    fn handle_ack(self: &Rc<Self>, pkt: &Packet) {
+        let acked = (pkt.words[0] as u64) | ((pkt.words[1] as u64) << 32);
+        let d = pkt.src.index();
+        let mut nodes = self.nodes.borrow_mut();
+        let node = &mut nodes[pkt.dest.index()];
+        while node.unacked[d].front().is_some_and(|p| p.seq < acked) {
+            node.unacked[d].pop_front();
+        }
+        if node.unacked[d].is_empty() {
+            // Progress: reset backoff. The armed timer disarms itself at
+            // its next expiry (the queue is empty).
+            node.rtx_timeout[d] = self.config.retry_timeout;
+        } else {
+            node.rtx_deadline[d] = self.sim.now() + node.rtx_timeout[d];
+        }
+    }
+
+    /// Handles a NACK at the original sender: the receiver saw a gap, so
+    /// retransmit the outstanding window immediately (rate-limited to one
+    /// round per round trip to avoid NACK storms).
+    fn handle_nack(self: &Rc<Self>, pkt: &Packet) {
+        let me = pkt.dest;
+        let d = pkt.src.index();
+        let want = (pkt.words[0] as u64) | ((pkt.words[1] as u64) << 32);
+        let fire = {
+            let mut nodes = self.nodes.borrow_mut();
+            let node = &mut nodes[me.index()];
+            while node.unacked[d].front().is_some_and(|p| p.seq < want) {
+                node.unacked[d].pop_front();
+            }
+            !node.unacked[d].is_empty()
+                && self.sim.now() >= node.rtx_last[d] + 2 * self.config.net_latency
+        };
+        if fire {
+            self.retransmit_unacked(me, pkt.src);
+            let mut nodes = self.nodes.borrow_mut();
+            let node = &mut nodes[me.index()];
+            node.rtx_last[d] = self.sim.now();
+            node.rtx_deadline[d] = self.sim.now() + node.rtx_timeout[d];
+        }
+    }
+
+    /// The per-(sender, destination) retransmit timer. Fires at the armed
+    /// deadline; if ACK progress pushed the deadline forward it re-arms,
+    /// otherwise it retransmits the whole outstanding window and backs off
+    /// exponentially. Disarms when the window is empty.
+    fn retransmit_timer(self: &Rc<Self>, src: ProcId, dest: ProcId) {
+        let d = dest.index();
+        let now = self.sim.now();
+        enum Step {
+            Disarm,
+            Rearm(Cycles),
+            Fire(Cycles),
+        }
+        let step = {
+            let mut nodes = self.nodes.borrow_mut();
+            let node = &mut nodes[src.index()];
+            if node.unacked[d].is_empty() {
+                node.rtx_armed[d] = false;
+                node.rtx_timeout[d] = self.config.retry_timeout;
+                Step::Disarm
+            } else if now < node.rtx_deadline[d] {
+                Step::Rearm(node.rtx_deadline[d])
+            } else {
+                let next = (node.rtx_timeout[d]
+                    .saturating_mul(self.config.retry_backoff as Cycles))
+                .min(self.config.retry_timeout_max);
+                node.rtx_timeout[d] = next;
+                node.rtx_deadline[d] = now + next;
+                node.rtx_last[d] = now;
+                Step::Fire(now + next)
+            }
+        };
+        match step {
+            Step::Disarm => {}
+            Step::Rearm(at) => {
+                let this = Rc::clone(self);
+                self.sim
+                    .call_at(at, move || this.retransmit_timer(src, dest))
+                    .expect("deadline is in the future");
+            }
+            Step::Fire(at) => {
+                self.retransmit_unacked(src, dest);
+                let this = Rc::clone(self);
+                self.sim
+                    .call_at(at, move || this.retransmit_timer(src, dest))
+                    .expect("deadline is in the future");
+            }
+        }
+    }
+
+    /// Re-injects every outstanding packet for (`src` → `dest`), charging
+    /// the NI cost to the `retry` category. Copies keep their original
+    /// `sent_at` so end-to-end latency samples include recovery time.
+    fn retransmit_unacked(self: &Rc<Self>, src: ProcId, dest: ProcId) {
+        let pkts: Vec<Packet> = self.nodes.borrow()[src.index()].unacked[dest.index()]
+            .iter()
+            .copied()
+            .collect();
+        if pkts.is_empty() {
+            return;
+        }
+        let count = pkts.len() as u64;
+        self.sim.charge_callback(
+            src,
+            Kind::Retry,
+            self.config.retry_packet_cost.saturating_mul(count),
+        );
+        self.sim.count(src, Counter::Retransmits, count);
+        self.sim.count(src, Counter::PacketsSent, count);
+        if self.tracing {
+            self.sim.trace(
+                src,
+                self.sim.now(),
+                TraceWhat::Instant(Mark::Retransmit {
+                    peer: dest,
+                    count: count as u32,
+                }),
+            );
+        }
+        for pkt in pkts {
+            self.sim
+                .count(src, Counter::BytesData, pkt.data_bytes as u64);
+            self.sim
+                .count(src, Counter::BytesControl, pkt.control_bytes() as u64);
+            self.inject(pkt, self.sim.now());
         }
     }
 
@@ -367,6 +669,7 @@ impl MpMachine {
                 words,
                 data_bytes,
                 sent_at: 0,
+                seq: 0,
             },
         );
     }
@@ -394,6 +697,7 @@ impl MpMachine {
                 words,
                 data_bytes,
                 sent_at: 0,
+                seq: 0,
             },
         );
     }
@@ -448,7 +752,8 @@ impl MpMachine {
                 }
                 None => {
                     let cell = self.arm_rx_waiter(cpu.id());
-                    cell.wait(cpu, Kind::Wait).await;
+                    cell.wait_labeled(cpu, Kind::Wait, "message receive", WaitTarget::Any)
+                        .await;
                 }
             }
         }

@@ -23,6 +23,13 @@ pub mod tag {
     pub const SYNC_REQ: u8 = 7;
     /// Synchronous-receive acknowledgement (landing channel id).
     pub const SYNC_ACK: u8 = 8;
+    /// Reliable-delivery cumulative acknowledgement (`words[0..2]` carry
+    /// the next expected sequence number). Only on the wire when fault
+    /// injection activates the reliable-delivery layer.
+    pub const ACK: u8 = 9;
+    /// Reliable-delivery negative acknowledgement: the receiver saw a
+    /// sequence gap and asks for retransmission from `words[0..2]`.
+    pub const NACK: u8 = 10;
     /// First tag available for application handlers.
     pub const USER_BASE: u8 = 16;
 }
@@ -48,6 +55,11 @@ pub struct Packet {
     /// measurement metadata (end-to-end message latency), not wire state;
     /// stamped by the network interface on injection.
     pub sent_at: Cycles,
+    /// Per-(source, destination) sequence number, stamped by the
+    /// reliable-delivery layer on injection. Always zero when fault
+    /// injection is off (the network is perfectly reliable and packets
+    /// need no sequencing).
+    pub seq: u64,
 }
 
 /// Total packet size on the wire, in bytes.
@@ -96,6 +108,7 @@ mod tests {
             words: [0; 4],
             data_bytes: 16,
             sent_at: 0,
+            seq: 0,
         };
         assert_eq!(p.control_bytes(), 4);
     }

@@ -71,6 +71,7 @@ impl MpMachine {
                 words: [bytes, 0, 0, 0],
                 data_bytes: 0,
                 sent_at: 0,
+                seq: 0,
             },
         );
         self.poll_loop(cpu, move |m| {
@@ -170,7 +171,9 @@ impl MpMachine {
             // Open a one-shot landing channel and acknowledge the sender
             // with its id. The channel-done handler completes the posted
             // receive.
-            let id = self.channel_open_recv(cpu, req.src, recv.buf_off, req.bytes.max(1));
+            let id = self
+                .channel_open_recv(cpu, req.src, recv.buf_off, req.bytes.max(1))
+                .expect("capacity within the channel limit");
             recv.len_slot.set(req.bytes);
             {
                 let mut nodes = self.nodes.borrow_mut();
@@ -187,6 +190,7 @@ impl MpMachine {
                     words: [id.index() as u32, 0, 0, 0],
                     data_bytes: 0,
                     sent_at: 0,
+                    seq: 0,
                 },
             );
         }

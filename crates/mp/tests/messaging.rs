@@ -40,7 +40,9 @@ fn pipelined_channel_writes_are_consumed_in_order() {
     let c1 = e.cpu(ProcId::new(1));
     let seen2 = Rc::clone(&seen);
     e.spawn(ProcId::new(1), async move {
-        let id = m1.channel_open_recv(&c1, ProcId::new(0), dst, 8);
+        let id = m1
+            .channel_open_recv(&c1, ProcId::new(0), dst, 8)
+            .expect("capacity within the channel limit");
         for _ in 0..rounds {
             m1.channel_wait(&c1, id).await;
             seen2.borrow_mut().push(m1.peek_f64(ProcId::new(1), dst));
@@ -200,7 +202,9 @@ fn barrier_and_channels_interleave_across_many_nodes() {
             let me = p.index();
             let right = ProcId::new((me + 1) % n);
             let left = ProcId::new((me + n - 1) % n);
-            let id = m.channel_open_recv(&cpu, left, dst, 8);
+            let id = m
+                .channel_open_recv(&cpu, left, dst, 8)
+                .expect("capacity within the channel limit");
             let out = m.channel_bind(&cpu, right).await;
             let mut v = me as f64;
             for _ in 0..rounds {
@@ -233,7 +237,9 @@ fn byte_accounting_distinguishes_data_and_control() {
     let m1 = Rc::clone(&m);
     let c1 = e.cpu(ProcId::new(1));
     e.spawn(ProcId::new(1), async move {
-        let id = m1.channel_open_recv(&c1, ProcId::new(0), dst, 160);
+        let id = m1
+            .channel_open_recv(&c1, ProcId::new(0), dst, 160)
+            .expect("capacity within the channel limit");
         m1.channel_wait(&c1, id).await;
     });
     let r = e.run();

@@ -33,7 +33,7 @@ proptest! {
         let m1 = Rc::clone(&m);
         let c1 = e.cpu(ProcId::new(1));
         e.spawn(ProcId::new(1), async move {
-            let id = m1.channel_open_recv(&c1, ProcId::new(0), dst, bytes);
+            let id = m1.channel_open_recv(&c1, ProcId::new(0), dst, bytes).expect("capacity within the channel limit");
             let got = m1.channel_wait(&c1, id).await;
             assert_eq!(got, bytes);
         });

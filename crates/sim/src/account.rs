@@ -101,11 +101,15 @@ pub enum Kind {
     /// Other waiting (spinning on a flag, waiting for a message or a
     /// channel completion).
     Wait,
+    /// Reliable-delivery recovery: retransmitting lost packets and
+    /// generating/handling acknowledgements. Only nonzero when fault
+    /// injection forces the protocol to do work.
+    Retry,
 }
 
 impl Kind {
     /// All kinds, in matrix order.
-    pub const ALL: [Kind; 10] = [
+    pub const ALL: [Kind; 11] = [
         Kind::Compute,
         Kind::PrivMiss,
         Kind::ShMissLocal,
@@ -116,6 +120,7 @@ impl Kind {
         Kind::BarrierWait,
         Kind::LockWait,
         Kind::Wait,
+        Kind::Retry,
     ];
 
     /// Dense index of this kind into a [`CycleMatrix`].
@@ -136,6 +141,7 @@ impl Kind {
             Kind::BarrierWait => "barrier",
             Kind::LockWait => "lock wait",
             Kind::Wait => "wait",
+            Kind::Retry => "retry",
         }
     }
 }
@@ -266,11 +272,17 @@ pub enum Counter {
     Broadcasts,
     /// Cache-coherence protocol messages handled by this node's directory.
     DirRequests,
+    /// Packets retransmitted by the reliable-delivery layer.
+    Retransmits,
+    /// Acknowledgement packets sent by the reliable-delivery layer.
+    AcksSent,
+    /// Negative acknowledgements (gap reports) sent.
+    NacksSent,
 }
 
 impl Counter {
     /// All counters, in storage order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 19] = [
         Counter::MessagesSent,
         Counter::ChannelWrites,
         Counter::ActiveMessages,
@@ -287,6 +299,9 @@ impl Counter {
         Counter::Reductions,
         Counter::Broadcasts,
         Counter::DirRequests,
+        Counter::Retransmits,
+        Counter::AcksSent,
+        Counter::NacksSent,
     ];
 
     /// Dense index of this counter.
@@ -313,6 +328,9 @@ impl Counter {
             Counter::Reductions => "reductions",
             Counter::Broadcasts => "broadcasts",
             Counter::DirRequests => "directory requests",
+            Counter::Retransmits => "retransmits",
+            Counter::AcksSent => "acks sent",
+            Counter::NacksSent => "nacks sent",
         }
     }
 }

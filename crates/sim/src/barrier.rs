@@ -119,7 +119,8 @@ impl HwBarrier {
             ep.waiters.push(cell.clone());
             cell
         };
-        cell.wait(cpu, kind).await;
+        cell.wait_labeled(cpu, kind, "barrier release", crate::WaitTarget::Barrier)
+            .await;
         self.trace_release(cpu, arrival);
     }
 

@@ -9,6 +9,7 @@ use std::task::{Context, Poll};
 
 use crate::account::{Counter, Kind, Scope};
 use crate::engine::Sim;
+use crate::fault::SlowWindow;
 use crate::time::{Cycles, ProcId};
 use crate::trace::TraceWhat;
 
@@ -25,6 +26,8 @@ pub struct Cpu {
     // Cached from the (immutable) engine config: hot path avoidance.
     profile_bucket: Option<Cycles>,
     tracing: bool,
+    // The fault plan's slow window, if it targets this processor.
+    slow: Option<SlowWindow>,
 }
 
 impl fmt::Debug for Cpu {
@@ -38,13 +41,18 @@ impl fmt::Debug for Cpu {
 
 impl Cpu {
     pub(crate) fn new(sim: Rc<Sim>, id: ProcId) -> Self {
-        let profile_bucket = sim.config().profile_bucket;
+        let config = sim.config();
         let tracing = sim.tracing();
+        let slow = config
+            .faults
+            .and_then(|f| f.slow)
+            .filter(|w| w.proc == id.index());
         Cpu {
             sim,
             id,
-            profile_bucket,
+            profile_bucket: config.profile_bucket,
             tracing,
+            slow,
         }
     }
 
@@ -82,7 +90,15 @@ impl Cpu {
     }
 
     /// Charges `cycles` of instruction execution (computation).
+    ///
+    /// If the fault plan puts this processor inside a slow window, the
+    /// charge is multiplied by the window's factor — the processor gets
+    /// the same work done in more simulated time.
     pub fn compute(&self, cycles: Cycles) {
+        let cycles = match self.slow {
+            Some(w) if w.contains(self.clock()) => cycles.saturating_mul(u64::from(w.factor)),
+            _ => cycles,
+        };
         self.charge(Kind::Compute, cycles);
     }
 
@@ -93,26 +109,8 @@ impl Cpu {
             return;
         }
         let bucket = self.profile_bucket;
-        self.sim.with_proc(self.id, |p| {
-            let scope = p.scopes.last().copied().unwrap_or(Scope::App);
-            p.matrix.add(scope, kind, cycles);
-            if let Some(b) = bucket {
-                // Distribute the charge over the time buckets it spans.
-                let mut t = p.clock;
-                let end = p.clock + cycles;
-                while t < end {
-                    let idx = (t / b) as usize;
-                    let bucket_end = (t / b + 1) * b;
-                    let span = bucket_end.min(end) - t;
-                    if p.profile.len() <= idx {
-                        p.profile.resize(idx + 1, crate::CycleMatrix::new());
-                    }
-                    p.profile[idx].add(scope, kind, span);
-                    t += span;
-                }
-            }
-            p.clock += cycles;
-        });
+        self.sim
+            .with_proc(self.id, |p| p.charge(kind, cycles, bucket));
     }
 
     /// Advances the local clock to `t` (if it is in the future), charging
@@ -169,7 +167,9 @@ impl Cpu {
         let at = self.clock() + delay;
         // The callback time is relative to the local clock, which may lag
         // global time if another processor drove time forward; clamp.
-        self.sim.call_at(at.max(self.now()), f);
+        self.sim
+            .call_at(at.max(self.now()), f)
+            .expect("clamped to the present");
     }
 
     /// Re-synchronizes with the event loop: yields until global time has

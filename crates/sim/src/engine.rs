@@ -8,9 +8,11 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, RawWaker, RawWakerVTable, Waker};
 
-use crate::account::{Counter, Counters, CycleMatrix, Scope};
+use crate::account::{Counter, Counters, CycleMatrix, Kind, Scope};
 use crate::cpu::Cpu;
+use crate::error::{BlockedProc, SimError, StallReport, WaitTarget};
 use crate::event::{Action, EventQueue};
+use crate::fault::{FaultConfig, FaultLog, FaultPlan, PacketFate};
 use crate::report::{ProcReport, SimReport};
 use crate::time::{Cycles, ProcId};
 use crate::trace::{Metric, TraceBuffer, TraceEvent, TraceSink, TraceWhat};
@@ -43,6 +45,15 @@ pub struct SimConfig {
     /// flag is cached in every [`Cpu`] handle so disabled tracing costs a
     /// single branch and no allocation on the hot paths.
     pub trace: bool,
+    /// Optional deterministic fault injection. `None` (the default) is the
+    /// perfectly reliable network of the paper; `Some` installs a seeded
+    /// [`FaultPlan`] that the machine models consult at packet-delivery
+    /// time. Participates in the run-cache key through `Debug`.
+    pub faults: Option<FaultConfig>,
+    /// Progress watchdog: if no processor task is resumed for this many
+    /// simulated cycles while machine events keep flowing, the run aborts
+    /// with [`SimError::Livelock`]. `None` (the default) disables it.
+    pub watchdog: Option<Cycles>,
 }
 
 impl Default for SimConfig {
@@ -53,8 +64,19 @@ impl Default for SimConfig {
             max_events: u64::MAX,
             profile_bucket: None,
             trace: false,
+            faults: None,
+            watchdog: None,
         }
     }
+}
+
+/// What a still-pending task is blocked on, recorded by
+/// [`crate::WaitCell`] waits so stall diagnostics can name the reason.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct BlockInfo {
+    pub(crate) kind: Kind,
+    pub(crate) reason: &'static str,
+    pub(crate) target: WaitTarget,
 }
 
 pub(crate) struct Proc {
@@ -64,6 +86,7 @@ pub(crate) struct Proc {
     pub(crate) scopes: Vec<Scope>,
     pub(crate) done: bool,
     pub(crate) profile: Vec<CycleMatrix>,
+    pub(crate) blocked: Option<BlockInfo>,
 }
 
 impl Proc {
@@ -75,7 +98,33 @@ impl Proc {
             scopes: Vec::new(),
             done: false,
             profile: Vec::new(),
+            blocked: None,
         }
+    }
+
+    /// Charges `cycles` of `kind` to the innermost scope, maintaining the
+    /// time-resolved profile and the local clock. This is the one charging
+    /// path: [`Cpu::charge`] and [`Sim::charge_callback`] both land here,
+    /// so span/matrix reconciliation holds no matter who charges.
+    pub(crate) fn charge(&mut self, kind: Kind, cycles: Cycles, bucket: Option<Cycles>) {
+        let scope = self.scopes.last().copied().unwrap_or(Scope::App);
+        self.matrix.add(scope, kind, cycles);
+        if let Some(b) = bucket {
+            // Distribute the charge over the time buckets it spans.
+            let mut t = self.clock;
+            let end = self.clock + cycles;
+            while t < end {
+                let idx = (t / b) as usize;
+                let bucket_end = (t / b + 1) * b;
+                let span = bucket_end.min(end) - t;
+                if self.profile.len() <= idx {
+                    self.profile.resize(idx + 1, CycleMatrix::new());
+                }
+                self.profile[idx].add(scope, kind, span);
+                t += span;
+            }
+        }
+        self.clock += cycles;
     }
 }
 
@@ -86,6 +135,7 @@ pub(crate) struct Inner {
     pub(crate) config: SimConfig,
     pub(crate) events_processed: u64,
     pub(crate) trace: Option<Box<dyn TraceSink>>,
+    pub(crate) faults: Option<Box<FaultPlan>>,
 }
 
 /// Shared simulator state, used through an `Rc<Sim>` by [`Cpu`] handles,
@@ -117,6 +167,7 @@ impl Sim {
                 trace: config
                     .trace
                     .then(|| Box::new(TraceBuffer::new()) as Box<dyn TraceSink>),
+                faults: config.faults.map(|cfg| Box::new(FaultPlan::new(cfg))),
             }),
         })
     }
@@ -144,18 +195,60 @@ impl Sim {
 
     /// Schedules a machine-model callback at absolute time `at`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `at` is in the past (before the current global time):
-    /// causality would be violated.
-    pub fn call_at(&self, at: Cycles, f: impl FnOnce() + 'static) {
+    /// Returns [`SimError::PastEvent`] if `at` is before the current
+    /// global time: causality would be violated. Machine models that
+    /// clamp `at` to the present first may safely `expect` the result.
+    pub fn call_at(&self, at: Cycles, f: impl FnOnce() + 'static) -> Result<(), SimError> {
         let mut inner = self.inner.borrow_mut();
-        assert!(
-            at >= inner.now,
-            "event scheduled in the past: at={at} now={}",
-            inner.now
-        );
+        if at < inner.now {
+            return Err(SimError::PastEvent { at, now: inner.now });
+        }
         inner.queue.push(at, Action::Call(Box::new(f)));
+        Ok(())
+    }
+
+    /// Charges `cycles` of `kind` to processor `p` from a scheduled
+    /// callback, where no [`Cpu`] handle exists. Identical accounting to
+    /// [`Cpu::charge`]: innermost scope, time-resolved profile, clock.
+    pub fn charge_callback(&self, p: ProcId, kind: Kind, cycles: Cycles) {
+        if cycles == 0 {
+            return;
+        }
+        let bucket = self.config().profile_bucket;
+        self.with_proc(p, |pr| pr.charge(kind, cycles, bucket));
+    }
+
+    /// Asks the fault plan (if any) for the fate of a packet from `src`
+    /// to `dest` injected now. Without a plan every packet is delivered
+    /// untouched.
+    pub fn fault_fate(&self, src: ProcId, dest: ProcId) -> PacketFate {
+        let mut inner = self.inner.borrow_mut();
+        let now = inner.now;
+        match inner.faults.as_mut() {
+            Some(plan) => plan.packet_fate(src.index(), dest.index(), now),
+            None => PacketFate::Deliver { extra: 0 },
+        }
+    }
+
+    /// Draws shared-miss jitter from the fault plan (zero without one or
+    /// when the reorder probability is zero).
+    pub fn fault_miss_jitter(&self) -> Cycles {
+        self.inner
+            .borrow_mut()
+            .faults
+            .as_mut()
+            .map_or(0, |plan| plan.miss_jitter())
+    }
+
+    /// Snapshot of the injected-fault log, if fault injection is active.
+    pub fn fault_log(&self) -> Option<FaultLog> {
+        self.inner
+            .borrow()
+            .faults
+            .as_ref()
+            .map(|plan| plan.log().clone())
     }
 
     /// Schedules the task of processor `p` to be re-polled at time `at`.
@@ -289,9 +382,25 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics on deadlock (the event queue drains while some processor task
-    /// is still blocked) or when `max_events` is exceeded.
-    pub fn run(mut self) -> SimReport {
+    /// Panics with the [`SimError`] diagnostic on deadlock, livelock, or
+    /// an exceeded event budget. Use [`Engine::try_run`] to handle those
+    /// conditions programmatically.
+    pub fn run(self) -> SimReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Deadlock`] — the event queue drained while some
+    ///   processor task was still blocked; the report names each blocked
+    ///   processor, its wait reason, and the wait-for graph.
+    /// * [`SimError::Livelock`] — [`SimConfig::watchdog`] is set and no
+    ///   processor task was resumed for that many simulated cycles even
+    ///   though machine events kept flowing.
+    /// * [`SimError::EventBudget`] — [`SimConfig::max_events`] exceeded.
+    pub fn try_run(mut self) -> Result<SimReport, SimError> {
         let waker = noop_waker();
         let mut cx = Context::from_waker(&waker);
 
@@ -302,6 +411,9 @@ impl Engine {
             }
         }
 
+        let watchdog = self.sim.config().watchdog;
+        let mut last_resume: Cycles = 0;
+
         loop {
             let event = {
                 let mut inner = self.sim.inner.borrow_mut();
@@ -310,10 +422,12 @@ impl Engine {
                         inner.now = e.time;
                         inner.events_processed += 1;
                         if inner.events_processed > inner.config.max_events {
-                            panic!(
-                                "event budget exceeded ({} events): livelock?",
-                                inner.config.max_events
-                            );
+                            let limit = inner.config.max_events;
+                            drop(inner);
+                            return Err(SimError::EventBudget {
+                                limit,
+                                report: self.stall_report(),
+                            });
                         }
                         e
                     }
@@ -323,6 +437,7 @@ impl Engine {
 
             match event.action {
                 Action::Resume(p) => {
+                    last_resume = event.time;
                     let i = p.index();
                     let finished = match self.tasks[i].as_mut() {
                         Some(task) => task.as_mut().poll(&mut cx).is_ready(),
@@ -333,24 +448,31 @@ impl Engine {
                         self.sim.with_proc(p, |proc| proc.done = true);
                     }
                 }
-                Action::Call(f) => f(),
+                Action::Call(f) => {
+                    // Machine events that never resume a task (for example
+                    // a retransmit timer endlessly re-arming itself toward
+                    // a dead receiver) are what the watchdog exists for.
+                    if let Some(n) = watchdog {
+                        if event.time.saturating_sub(last_resume) > n {
+                            return Err(SimError::Livelock {
+                                watchdog: n,
+                                report: self.stall_report(),
+                            });
+                        }
+                    }
+                    f();
+                }
             }
         }
 
-        let stuck: Vec<usize> = self
-            .tasks
-            .iter()
-            .enumerate()
-            .filter_map(|(i, t)| t.is_some().then_some(i))
-            .collect();
-        assert!(
-            stuck.is_empty(),
-            "deadlock: event queue empty but processors {stuck:?} are still blocked"
-        );
+        let any_stuck = self.tasks.iter().any(|t| t.is_some());
+        if any_stuck {
+            return Err(SimError::Deadlock(self.stall_report()));
+        }
 
         let mut inner = self.sim.inner.borrow_mut();
         let trace = inner.trace.take().and_then(|sink| sink.finish());
-        SimReport::new(
+        Ok(SimReport::new(
             inner
                 .procs
                 .iter()
@@ -365,7 +487,46 @@ impl Engine {
                 .collect(),
             inner.events_processed,
             trace,
-        )
+        ))
+    }
+
+    /// Snapshots the blocked state of every unfinished task for a
+    /// [`StallReport`]. Tasks that never registered a wait reason (a
+    /// machine model blocking on an uninstrumented future) are reported
+    /// as an unknown wait.
+    fn stall_report(&self) -> StallReport {
+        let inner = self.sim.inner.borrow();
+        let blocked = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| {
+                t.as_ref()?;
+                let pr = &inner.procs[i];
+                Some(match pr.blocked {
+                    Some(b) => BlockedProc {
+                        proc: ProcId::new(i),
+                        clock: pr.clock,
+                        kind: b.kind,
+                        reason: b.reason,
+                        target: b.target,
+                    },
+                    None => BlockedProc {
+                        proc: ProcId::new(i),
+                        clock: pr.clock,
+                        kind: Kind::Wait,
+                        reason: "unknown wait",
+                        target: WaitTarget::Any,
+                    },
+                })
+            })
+            .collect();
+        StallReport {
+            now: inner.now,
+            events_processed: inner.events_processed,
+            nprocs: inner.procs.len(),
+            blocked,
+        }
     }
 }
 
@@ -447,8 +608,8 @@ mod tests {
             let sim = Rc::clone(e.sim());
             let l1 = Rc::clone(&log);
             let l2 = Rc::clone(&log);
-            sim.call_at(200, move || l1.borrow_mut().push(2));
-            sim.call_at(100, move || l2.borrow_mut().push(1));
+            sim.call_at(200, move || l1.borrow_mut().push(2)).unwrap();
+            sim.call_at(100, move || l2.borrow_mut().push(1)).unwrap();
         }
         e.spawn(ProcId::new(0), async move { cpu.compute(1) });
         e.run();
@@ -456,8 +617,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "deadlock")]
-    fn deadlock_is_detected() {
+    fn deadlock_returns_structured_error() {
         let mut e = Engine::new(1, SimConfig::default());
         let cpu = e.cpu(ProcId::new(0));
         let cell = crate::wait::WaitCell::new();
@@ -465,16 +625,82 @@ mod tests {
             // Nobody ever completes this cell.
             cell.wait(&cpu, Kind::Wait).await;
         });
+        let err = e.try_run().expect_err("must deadlock");
+        let SimError::Deadlock(report) = &err else {
+            panic!("expected deadlock, got {err:?}");
+        };
+        assert_eq!(report.blocked.len(), 1);
+        assert_eq!(report.blocked[0].proc, ProcId::new(0));
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn run_still_panics_on_deadlock() {
+        let mut e = Engine::new(1, SimConfig::default());
+        let cpu = e.cpu(ProcId::new(0));
+        let cell = crate::wait::WaitCell::new();
+        e.spawn(ProcId::new(0), async move {
+            cell.wait(&cpu, Kind::Wait).await;
+        });
         e.run();
     }
 
     #[test]
-    #[should_panic(expected = "scheduled in the past")]
     fn past_events_are_rejected() {
         let e = Engine::new(1, SimConfig::default());
         let sim = Rc::clone(e.sim());
         sim.inner.borrow_mut().now = 50;
-        sim.call_at(10, || {});
+        let err = sim.call_at(10, || {}).expect_err("past event must fail");
+        assert_eq!(err, SimError::PastEvent { at: 10, now: 50 });
+        assert!(err.to_string().contains("scheduled in the past"));
+    }
+
+    #[test]
+    fn watchdog_catches_livelock() {
+        // A self-rearming machine event that never resumes any task.
+        let cfg = SimConfig {
+            watchdog: Some(1_000),
+            ..SimConfig::default()
+        };
+        let mut e = Engine::new(1, cfg);
+        let cpu = e.cpu(ProcId::new(0));
+        let cell = crate::wait::WaitCell::new();
+        fn rearm(sim: &Rc<Sim>, at: Cycles) {
+            let sim2 = Rc::clone(sim);
+            sim.call_at(at, move || rearm(&sim2, at + 100))
+                .expect("scheduled in the future");
+        }
+        rearm(e.sim(), 100);
+        e.spawn(ProcId::new(0), async move {
+            cell.wait(&cpu, Kind::Wait).await;
+        });
+        let err = e.try_run().expect_err("watchdog must fire");
+        let SimError::Livelock { watchdog, report } = &err else {
+            panic!("expected livelock, got {err:?}");
+        };
+        assert_eq!(*watchdog, 1_000);
+        assert_eq!(report.blocked.len(), 1);
+        assert!(err.to_string().contains("livelock"));
+    }
+
+    #[test]
+    fn event_budget_returns_error() {
+        let cfg = SimConfig {
+            max_events: 4,
+            ..SimConfig::default()
+        };
+        let mut e = Engine::new(1, cfg);
+        let cpu = e.cpu(ProcId::new(0));
+        e.spawn(ProcId::new(0), async move {
+            for _ in 0..10 {
+                cpu.compute(10);
+                cpu.resync().await;
+            }
+        });
+        let err = e.try_run().expect_err("budget must trip");
+        assert!(matches!(err, SimError::EventBudget { limit: 4, .. }));
+        assert!(err.to_string().contains("event budget exceeded"));
     }
 
     #[test]

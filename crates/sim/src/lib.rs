@@ -44,7 +44,9 @@ pub mod account;
 pub mod barrier;
 pub mod cpu;
 pub mod engine;
+pub mod error;
 pub mod event;
+pub mod fault;
 pub mod report;
 pub mod time;
 pub mod trace;
@@ -54,6 +56,8 @@ pub use account::{Counter, Counters, CycleMatrix, Kind, Scope};
 pub use barrier::HwBarrier;
 pub use cpu::{Cpu, ScopeGuard};
 pub use engine::{Engine, Sim, SimConfig};
+pub use error::{BlockedProc, SimError, StallReport, WaitTarget};
+pub use fault::{FaultConfig, FaultLog, FaultPlan, PacketFate, ProcWindow, SlowWindow};
 pub use report::{ProcReport, SimReport};
 pub use time::{Cycles, ProcId};
 pub use trace::{

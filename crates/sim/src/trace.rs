@@ -66,6 +66,34 @@ pub enum Mark {
     LockAcquire,
     /// The processor released a lock.
     LockRelease,
+    /// The fault plan dropped a packet this processor sent.
+    FaultDrop {
+        /// Destination node of the dropped packet.
+        peer: ProcId,
+        /// Packet dispatch tag.
+        tag: u8,
+    },
+    /// The fault plan duplicated a packet this processor sent.
+    FaultDup {
+        /// Destination node of the duplicated packet.
+        peer: ProcId,
+        /// Packet dispatch tag.
+        tag: u8,
+    },
+    /// The fault plan delayed a packet this processor sent.
+    FaultDelay {
+        /// Destination node of the delayed packet.
+        peer: ProcId,
+        /// Extra latency injected, in cycles.
+        extra: Cycles,
+    },
+    /// The reliable-delivery layer retransmitted unacknowledged packets.
+    Retransmit {
+        /// Destination node being retried.
+        peer: ProcId,
+        /// Number of packets retransmitted in this round.
+        count: u32,
+    },
 }
 
 impl Mark {
@@ -81,6 +109,10 @@ impl Mark {
             Mark::BarrierRelease => "barrier_release",
             Mark::LockAcquire => "lock_acquire",
             Mark::LockRelease => "lock_release",
+            Mark::FaultDrop { .. } => "fault_drop",
+            Mark::FaultDup { .. } => "fault_dup",
+            Mark::FaultDelay { .. } => "fault_delay",
+            Mark::Retransmit { .. } => "retransmit",
         }
     }
 }

@@ -11,7 +11,8 @@ use std::task::{Context, Poll};
 
 use crate::account::Kind;
 use crate::cpu::Cpu;
-use crate::engine::Sim;
+use crate::engine::{BlockInfo, Sim};
+use crate::error::WaitTarget;
 use crate::time::{Cycles, ProcId};
 
 #[derive(Default)]
@@ -93,10 +94,26 @@ impl WaitCell {
     /// stall (from the current local clock to the completion time) to
     /// `kind`. Resolves to the completion time.
     pub fn wait(&self, cpu: &Cpu, kind: Kind) -> Wait {
+        self.wait_labeled(cpu, kind, "event completion", WaitTarget::Any)
+    }
+
+    /// Like [`WaitCell::wait`], but labels the wait with a human-readable
+    /// `reason` and a [`WaitTarget`] so a stalled run's
+    /// [`crate::StallReport`] can say what this processor was waiting for
+    /// and on whom.
+    pub fn wait_labeled(
+        &self,
+        cpu: &Cpu,
+        kind: Kind,
+        reason: &'static str,
+        target: WaitTarget,
+    ) -> Wait {
         Wait {
             cell: self.clone(),
             cpu: cpu.clone(),
             kind,
+            reason,
+            target,
         }
     }
 }
@@ -108,6 +125,8 @@ pub struct Wait {
     cell: WaitCell,
     cpu: Cpu,
     kind: Kind,
+    reason: &'static str,
+    target: WaitTarget,
 }
 
 impl Future for Wait {
@@ -117,11 +136,24 @@ impl Future for Wait {
         match self.cell.inner.completed.get() {
             Some(t) => {
                 self.cell.inner.waiter.set(None);
+                self.cpu
+                    .sim()
+                    .with_proc(self.cpu.id(), |p| p.blocked = None);
                 self.cpu.wait_until(t, self.kind);
                 Poll::Ready(t)
             }
             None => {
                 self.cell.inner.waiter.set(Some(self.cpu.id()));
+                // Record what we are blocked on so a stalled run can be
+                // diagnosed; cleared again on the Ready path.
+                let info = BlockInfo {
+                    kind: self.kind,
+                    reason: self.reason,
+                    target: self.target,
+                };
+                self.cpu
+                    .sim()
+                    .with_proc(self.cpu.id(), |p| p.blocked = Some(info));
                 Poll::Pending
             }
         }
@@ -142,7 +174,7 @@ mod tests {
             let sim = Rc::clone(e.sim());
             let cell = cell.clone();
             let sim2 = Rc::clone(e.sim());
-            sim.call_at(250, move || cell.complete(&sim2, 250));
+            sim.call_at(250, move || cell.complete(&sim2, 250)).unwrap();
         }
         e.spawn(ProcId::new(0), async move {
             cpu.compute(40);

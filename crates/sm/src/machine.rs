@@ -603,9 +603,11 @@ impl SmMachine {
                 cpu.count(Counter::BytesControl, cfg.ctrl_msg_bytes);
                 let arrive = cpu.clock() + cfg.latency(me, block.node());
                 let this = Rc::clone(self);
-                self.sim().call_at(arrive.max(self.sim().now()), move || {
-                    this.dir_service_prefetch(me, block, cell);
-                });
+                self.sim()
+                    .call_at(arrive.max(self.sim().now()), move || {
+                        this.dir_service_prefetch(me, block, cell);
+                    })
+                    .expect("arrival is clamped to the present");
                 issued += 1;
             }
             if block_raw == last {
@@ -654,9 +656,11 @@ impl SmMachine {
                 cpu.count(Counter::MessagesSent, 1);
                 let arrive = cpu.clock() + cfg.latency(me, q);
                 let this = Rc::clone(self);
-                self.sim().call_at(arrive.max(self.sim().now()), move || {
-                    this.install_copy(q, block);
-                });
+                self.sim()
+                    .call_at(arrive.max(self.sim().now()), move || {
+                        this.install_copy(q, block);
+                    })
+                    .expect("arrival is clamped to the present");
             }
             if block_raw == last {
                 break;

@@ -11,7 +11,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use wwt_mem::{GAddr, LineState};
-use wwt_sim::{Counter, Cpu, Kind, Mark, Metric, ProcId, TraceWhat, WaitCell};
+use wwt_sim::{Counter, Cpu, Kind, Mark, Metric, ProcId, TraceWhat, WaitCell, WaitTarget};
 
 use crate::machine::SmMachine;
 
@@ -104,16 +104,30 @@ impl SmMachine {
         }
         // Processor-side miss handling (Table 3: 19 cycles).
         cpu.charge(kind, cfg.shared_miss);
+        // Fault-plan network jitter: the SM machine has no packets to drop,
+        // so perturbation degrades into extra shared-miss service latency.
+        let jitter = self.sim().fault_miss_jitter();
+        if jitter > 0 {
+            cpu.charge(kind, jitter);
+        }
         // Request message.
         cpu.count(Counter::BytesControl, cfg.ctrl_msg_bytes);
         let cell = WaitCell::new();
         let arrive = cpu.clock() + cfg.latency(p, h);
         let this = Rc::clone(self);
         let cell2 = cell.clone();
-        self.sim().call_at(arrive.max(self.sim().now()), move || {
-            this.dir_service(ProcId::new(p), block, write, cell2)
-        });
-        cell.wait(cpu, kind).await;
+        self.sim()
+            .call_at(arrive.max(self.sim().now()), move || {
+                this.dir_service(ProcId::new(p), block, write, cell2)
+            })
+            .expect("arrival is clamped to the present");
+        cell.wait_labeled(
+            cpu,
+            kind,
+            "coherence reply",
+            WaitTarget::Proc(ProcId::new(h)),
+        )
+        .await;
         if cpu.tracing() {
             cpu.trace(TraceWhat::Instant(Mark::MissEnd { kind }));
             cpu.sim()
@@ -261,10 +275,12 @@ impl SmMachine {
             .expect("dir_service completes synchronously");
         let this = Rc::clone(self);
         let sim = Rc::clone(self.sim());
-        self.sim().call_at(resp.max(self.sim().now()), move || {
-            this.install_prefetched(p, block);
-            let _ = &sim;
-        });
+        self.sim()
+            .call_at(resp.max(self.sim().now()), move || {
+                this.install_prefetched(p, block);
+                let _ = &sim;
+            })
+            .expect("response time is clamped to the present");
     }
 
     /// Installs a prefetched block on arrival; a displaced shared victim
@@ -321,22 +337,24 @@ impl SmMachine {
         }
         let arrive = cpu.clock() + cfg.latency(p, h);
         let this = Rc::clone(self);
-        self.sim().call_at(arrive.max(self.sim().now()), move || {
-            let st = this.dir_state(h, victim);
-            let new = match st {
-                DirState::Exclusive(o) if o == p => DirState::Uncached,
-                DirState::Shared(mut s) => {
-                    s.remove(p);
-                    if s.is_empty() {
-                        DirState::Uncached
-                    } else {
-                        DirState::Shared(s)
+        self.sim()
+            .call_at(arrive.max(self.sim().now()), move || {
+                let st = this.dir_state(h, victim);
+                let new = match st {
+                    DirState::Exclusive(o) if o == p => DirState::Uncached,
+                    DirState::Shared(mut s) => {
+                        s.remove(p);
+                        if s.is_empty() {
+                            DirState::Uncached
+                        } else {
+                            DirState::Shared(s)
+                        }
                     }
-                }
-                other => other,
-            };
-            this.set_dir_state(h, victim, new);
-        });
+                    other => other,
+                };
+                this.set_dir_state(h, victim, new);
+            })
+            .expect("arrival is clamped to the present");
     }
 }
 

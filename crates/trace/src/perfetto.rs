@@ -82,6 +82,15 @@ fn mark_args(m: &Mark) -> String {
         Mark::MissStart { kind } | Mark::MissEnd { kind } => {
             format!("\"kind\":\"{}\"", escape(kind.label()))
         }
+        Mark::FaultDrop { peer, tag } | Mark::FaultDup { peer, tag } => {
+            format!("\"peer\":{},\"tag\":{tag}", peer.index())
+        }
+        Mark::FaultDelay { peer, extra } => {
+            format!("\"peer\":{},\"extra\":{extra}", peer.index())
+        }
+        Mark::Retransmit { peer, count } => {
+            format!("\"peer\":{},\"count\":{count}", peer.index())
+        }
         Mark::BarrierArrive | Mark::BarrierRelease | Mark::LockAcquire | Mark::LockRelease => {
             String::new()
         }
