@@ -469,10 +469,13 @@ mod tests {
         };
         // Shrink the cache to make capacity misses matter at test scale.
         let small_cache = SmConfig {
-            cache: CacheGeometry {
-                size_bytes: 8 * 1024,
-                ways: 4,
-                block_bytes: 32,
+            arch: wwt_sm::ArchParams {
+                cache: CacheGeometry {
+                    size_bytes: 8 * 1024,
+                    ways: 4,
+                    block_bytes: 32,
+                },
+                ..wwt_sm::ArchParams::default()
             },
             ..SmConfig::default()
         };

@@ -5,7 +5,8 @@
 //! ```text
 //! make_tables [--test-scale] [--jobs N] [--no-cache] [--timeline]
 //!             [--trace OUT.json] [--metrics OUT.json] [--json OUT.json]
-//!             [--faults SPEC] [experiment-id ...]
+//!             [--faults SPEC] [--arch SPEC] [--arch-sweep KEY=V1,V2,...]
+//!             [experiment-id ...]
 //! ```
 //!
 //! With no experiment ids, every experiment runs. An id is either an
@@ -40,6 +41,21 @@
 //! participates in the run-cache key and identical seeds replay
 //! byte-identically.
 //!
+//! `--arch SPEC` runs every experiment on a different hardware base:
+//! a preset (`paper`, `1mb-cache`, `low-latency`, `high-latency`),
+//! `key=value` overrides, or both — `--arch 1mb-cache,net_latency=50`.
+//! The default (`--arch paper`) reproduces the paper's Table-1 machine
+//! and its output is byte-identical to omitting the flag.
+//!
+//! `--arch-sweep KEY=V1,V2,...` (repeatable) runs the selected
+//! experiments at every point of the axes' cross product, on top of the
+//! `--arch` base, and prints one MP-vs-SM comparison row per point
+//! instead of the full per-experiment report. Every point goes through
+//! the parallel grid runner and the run cache under its own key, so
+//! re-sweeping replays from disk and stdout is byte-identical for any
+//! `--jobs` count. Sweeps produce no per-experiment artifact files, so
+//! `--timeline`/`--trace`/`--metrics`/`--json` cannot combine with them.
+//!
 //! `--trace` writes a Perfetto-loadable Chrome trace-event file per
 //! experiment (the experiment id is inserted before the extension:
 //! `out.json` becomes `out-em3d-mp.json`). `--metrics` writes the latency
@@ -50,7 +66,11 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use wwt_bench::select_experiments;
-use wwt_core::{render_report, run_grid, Experiment, ExperimentArtifacts, RunnerConfig, Scale};
+use wwt_core::arch::{sweep_points, ArchParams, ArchSweep, KEYS, PRESETS};
+use wwt_core::{
+    render_report, render_sweep_report, run_grid, run_sweep, Experiment, ExperimentArtifacts,
+    RunnerConfig, Scale,
+};
 
 /// Inserts `-{id}` before the final path component's extension:
 /// `out.json` + `mse-mp` becomes `out-mse-mp.json`. Dots in directory
@@ -76,11 +96,21 @@ fn usage() -> ! {
         "usage: make_tables [--test-scale] [--jobs N] [--no-cache] [--timeline] \
          [--trace OUT.json] [--metrics OUT.json] [--json OUT.json] \
          [--faults seed=S,drop=P,dup=P,reorder=P,jitter=CYCLES,\
-         fail=PROC@FROM..UNTIL,slow=PROC@FROM..UNTILxFACTOR] [experiment-id ...]"
+         fail=PROC@FROM..UNTIL,slow=PROC@FROM..UNTILxFACTOR] \
+         [--arch preset[,key=value,...]] [--arch-sweep key=v1,v2,...]... \
+         [experiment-id ...]"
     );
     eprintln!("experiments:");
     for e in Experiment::ALL {
         eprintln!("  {:<16} {}", e.id(), e.paper_tables());
+    }
+    eprintln!("arch presets:");
+    for (name, what) in PRESETS {
+        eprintln!("  {name:<16} {what}");
+    }
+    eprintln!("arch keys (for --arch overrides and --arch-sweep axes):");
+    for (name, what) in KEYS {
+        eprintln!("  {name:<16} {what}");
     }
     std::process::exit(2);
 }
@@ -145,6 +175,8 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut json_out: Option<String> = None;
     let mut faults: Option<wwt_core::sim::FaultConfig> = None;
+    let mut arch = ArchParams::default();
+    let mut sweeps: Vec<ArchSweep> = Vec::new();
     let mut selectors: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -172,6 +204,26 @@ fn main() {
                     }
                 }
             }
+            "--arch" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                match ArchParams::parse(spec) {
+                    Ok(a) => arch = a,
+                    Err(err) => {
+                        eprintln!("invalid --arch spec: {err}");
+                        usage();
+                    }
+                }
+            }
+            "--arch-sweep" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                match ArchSweep::parse(spec) {
+                    Ok(s) => sweeps.push(s),
+                    Err(err) => {
+                        eprintln!("invalid --arch-sweep spec: {err}");
+                        usage();
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             id => selectors.push(id.to_string()),
         }
@@ -195,11 +247,57 @@ fn main() {
         trace: tracing_requested,
         cache_dir: use_cache.then(|| PathBuf::from("results/cache")),
         faults,
+        arch,
     };
+
+    if !sweeps.is_empty() {
+        // Sweeps print one comparison row per point, not per-experiment
+        // artifacts; the artifact flags have nothing to attach to.
+        if timeline || tracing_requested {
+            eprintln!("--arch-sweep cannot combine with --timeline/--trace/--metrics/--json");
+            std::process::exit(2);
+        }
+        let points = sweep_points(&arch, &sweeps).unwrap_or_else(|err| {
+            eprintln!("invalid sweep: {err}");
+            std::process::exit(2);
+        });
+        let start = std::time::Instant::now();
+        let outcomes = run_sweep(&selected, &cfg, &points);
+        let total_secs = start.elapsed().as_secs_f64();
+        print!("{}", render_sweep_report(&outcomes, scale, &arch));
+        // Timings go to stderr, never stdout: sweep output must be
+        // byte-identical across job counts and cache states.
+        for o in &outcomes {
+            let hits = o.artifacts.iter().filter(|a| a.from_cache).count();
+            let secs: f64 = o.artifacts.iter().map(|a| a.wall_secs).sum();
+            eprintln!(
+                "timing: {:<28} {:8.2}s (cache hits {hits}/{})",
+                o.label,
+                secs,
+                o.artifacts.len()
+            );
+        }
+        eprintln!(
+            "timing: swept {} points x {} experiments in {:.2}s (jobs={})",
+            outcomes.len(),
+            selected.len(),
+            total_secs,
+            cfg.jobs
+        );
+        return;
+    }
+
     let start = std::time::Instant::now();
     let artifacts = run_grid(&selected, &cfg);
     let total_secs = start.elapsed().as_secs_f64();
 
+    // A non-default hardware base is announced above the report so its
+    // numbers can never be mistaken for the paper machine's; the default
+    // prints nothing, keeping `--arch paper` byte-identical to the
+    // pre-sweep output.
+    if !arch.is_paper() {
+        println!("arch: {}", arch.canonical());
+    }
     print!("{}", render_report(&artifacts, scale));
     if timeline {
         for a in &artifacts {

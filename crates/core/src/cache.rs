@@ -28,6 +28,8 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use wwt_arch::ArchParams;
+
 use crate::experiment::{Experiment, ExperimentSummary, Scale};
 use crate::runner::ExperimentArtifacts;
 use crate::table::{BreakdownTable, EventTable, Row};
@@ -46,21 +48,46 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The cache key hash: experiment, scale, full engine config, format
-/// version. `SimConfig` is `Copy + Debug` with stable field order, so its
-/// debug rendering is a faithful canonical form.
-pub fn config_hash(e: Experiment, scale: Scale, sim: &wwt_sim::SimConfig) -> u64 {
-    let key = format!("v{FORMAT_VERSION}|{}|{}|{:?}", e.id(), scale.name(), sim);
+/// The cache key hash: experiment, scale, full engine config, the full
+/// hardware base, both machines' full configurations, and the format
+/// version. `SimConfig`, `MpConfig`, and `SmConfig` are `Copy + Debug`
+/// with stable field order, so their debug renderings are faithful
+/// canonical forms; [`ArchParams::canonical`] is canonical by
+/// construction. Hashing the complete machine configurations (not just
+/// the swept base) means *any* future machine-cost change misses the
+/// cache instead of replaying a stale result — a swept run can never
+/// replay a cached default-config artifact.
+pub fn config_hash(
+    e: Experiment,
+    scale: Scale,
+    sim: &wwt_sim::SimConfig,
+    arch: &ArchParams,
+) -> u64 {
+    let mp = wwt_mp::MpConfig::with_arch(*arch, *sim);
+    let sm = wwt_sm::SmConfig::with_arch(*arch, *sim);
+    let key = format!(
+        "v{FORMAT_VERSION}|{}|{}|{:?}|{}|{mp:?}|{sm:?}",
+        e.id(),
+        scale.name(),
+        sim,
+        arch.canonical(),
+    );
     fnv1a(key.as_bytes())
 }
 
-/// The cache file path for one (experiment, scale, config) triple.
-pub fn entry_path(dir: &Path, e: Experiment, scale: Scale, sim: &wwt_sim::SimConfig) -> PathBuf {
+/// The cache file path for one (experiment, scale, config, arch) tuple.
+pub fn entry_path(
+    dir: &Path,
+    e: Experiment,
+    scale: Scale,
+    sim: &wwt_sim::SimConfig,
+    arch: &ArchParams,
+) -> PathBuf {
     dir.join(format!(
         "{}-{}-{:016x}.run",
         e.id(),
         scale.name(),
-        config_hash(e, scale, sim)
+        config_hash(e, scale, sim, arch)
     ))
 }
 
@@ -147,12 +174,17 @@ fn serialize(a: &ExperimentArtifacts) -> Option<String> {
 
 /// Persists one artifact set. Best-effort: errors (and unrepresentable
 /// data) are reported but expected to be ignored by the caller.
-pub fn save(dir: &Path, a: &ExperimentArtifacts, sim: &wwt_sim::SimConfig) -> std::io::Result<()> {
+pub fn save(
+    dir: &Path,
+    a: &ExperimentArtifacts,
+    sim: &wwt_sim::SimConfig,
+    arch: &ArchParams,
+) -> std::io::Result<()> {
     let Some(body) = serialize(a) else {
         return Ok(()); // unrepresentable: skip caching, never fail the run
     };
     fs::create_dir_all(dir)?;
-    let path = entry_path(dir, a.experiment, a.summary.scale, sim);
+    let path = entry_path(dir, a.experiment, a.summary.scale, sim, arch);
     // Write-then-rename so a concurrent reader never sees a torn entry.
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     fs::write(&tmp, body)?;
@@ -350,8 +382,9 @@ pub fn load(
     e: Experiment,
     scale: Scale,
     sim: &wwt_sim::SimConfig,
+    arch: &ArchParams,
 ) -> Option<ExperimentArtifacts> {
-    let path = entry_path(dir, e, scale, sim);
+    let path = entry_path(dir, e, scale, sim, arch);
     let text = match fs::read_to_string(&path) {
         Ok(text) => text,
         Err(err) if err.kind() == std::io::ErrorKind::NotFound => return None,
@@ -457,6 +490,7 @@ mod tests {
     #[test]
     fn config_hash_separates_engine_configs() {
         let base = wwt_sim::SimConfig::default();
+        let arch = ArchParams::default();
         let traced = wwt_sim::SimConfig {
             trace: true,
             ..base
@@ -466,16 +500,39 @@ mod tests {
             ..base
         };
         let e = Experiment::Em3dSm;
-        let h = |sim: &wwt_sim::SimConfig| config_hash(e, Scale::Test, sim);
+        let h = |sim: &wwt_sim::SimConfig| config_hash(e, Scale::Test, sim, &arch);
         assert_ne!(h(&base), h(&traced));
         assert_ne!(h(&base), h(&profiled));
         assert_ne!(
-            config_hash(Experiment::Em3dSm, Scale::Test, &base),
-            config_hash(Experiment::Em3dMp, Scale::Test, &base)
+            config_hash(Experiment::Em3dSm, Scale::Test, &base, &arch),
+            config_hash(Experiment::Em3dMp, Scale::Test, &base, &arch)
         );
         assert_ne!(
-            config_hash(e, Scale::Test, &base),
-            config_hash(e, Scale::Paper, &base)
+            config_hash(e, Scale::Test, &base, &arch),
+            config_hash(e, Scale::Paper, &base, &arch)
+        );
+    }
+
+    /// The regression the sweep depends on: two architecture points must
+    /// produce distinct cache keys for every experiment, or a swept run
+    /// could replay a cached default-config result.
+    #[test]
+    fn config_hash_separates_arch_points() {
+        let sim = wwt_sim::SimConfig::default();
+        let paper = ArchParams::default();
+        let fast = ArchParams::parse("net_latency=50").unwrap();
+        let big = ArchParams::parse("1mb-cache").unwrap();
+        for e in Experiment::ALL {
+            let h = |arch: &ArchParams| config_hash(e, Scale::Test, &sim, arch);
+            assert_ne!(h(&paper), h(&fast), "{e}: net_latency must key the cache");
+            assert_ne!(h(&paper), h(&big), "{e}: cache size must key the cache");
+            assert_ne!(h(&fast), h(&big), "{e}");
+        }
+        // Same point, spelled differently: same key.
+        let fast2 = ArchParams::parse("paper,net_latency=50").unwrap();
+        assert_eq!(
+            config_hash(Experiment::MseMp, Scale::Test, &sim, &fast),
+            config_hash(Experiment::MseMp, Scale::Test, &sim, &fast2)
         );
     }
 
@@ -485,18 +542,19 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         let a = sample_artifacts();
         let sim = wwt_sim::SimConfig::default();
-        save(&dir, &a, &sim).unwrap();
-        let path = entry_path(&dir, a.experiment, Scale::Test, &sim);
+        let arch = ArchParams::default();
+        save(&dir, &a, &sim, &arch).unwrap();
+        let path = entry_path(&dir, a.experiment, Scale::Test, &sim, &arch);
         let text = fs::read_to_string(&path).unwrap();
         // Truncated entry: miss, never a panic or error.
         fs::write(&path, &text[..text.len() / 3]).unwrap();
-        assert!(load(&dir, a.experiment, Scale::Test, &sim).is_none());
+        assert!(load(&dir, a.experiment, Scale::Test, &sim, &arch).is_none());
         // Arbitrary garbage: same.
         fs::write(&path, b"not a cache file\x00\xff garbage").unwrap();
-        assert!(load(&dir, a.experiment, Scale::Test, &sim).is_none());
+        assert!(load(&dir, a.experiment, Scale::Test, &sim, &arch).is_none());
         // A fresh save repairs the entry.
-        save(&dir, &a, &sim).unwrap();
-        assert!(load(&dir, a.experiment, Scale::Test, &sim).is_some());
+        save(&dir, &a, &sim, &arch).unwrap();
+        assert!(load(&dir, a.experiment, Scale::Test, &sim, &arch).is_some());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -506,13 +564,14 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         let a = sample_artifacts();
         let sim = wwt_sim::SimConfig::default();
-        assert!(load(&dir, a.experiment, Scale::Test, &sim).is_none());
-        save(&dir, &a, &sim).unwrap();
-        let b = load(&dir, a.experiment, Scale::Test, &sim).unwrap();
+        let arch = ArchParams::default();
+        assert!(load(&dir, a.experiment, Scale::Test, &sim, &arch).is_none());
+        save(&dir, &a, &sim, &arch).unwrap();
+        let b = load(&dir, a.experiment, Scale::Test, &sim, &arch).unwrap();
         assert_eq!(a.summary, b.summary);
         // A different engine config misses.
         let traced = wwt_sim::SimConfig { trace: true, ..sim };
-        assert!(load(&dir, a.experiment, Scale::Test, &traced).is_none());
+        assert!(load(&dir, a.experiment, Scale::Test, &traced, &arch).is_none());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use wwt_apps::common::AppRun;
 use wwt_apps::{em3d, gauss, lcp, mse};
+use wwt_arch::ArchParams;
 use wwt_mp::{MpConfig, TreeShape};
 use wwt_sm::{AllocPolicy, ProtocolMode, SmConfig};
 
@@ -110,6 +111,30 @@ impl Experiment {
         Experiment::ALL.into_iter().find(|e| e.id() == id)
     }
 
+    /// Which machine model this experiment runs on.
+    pub fn machine(self) -> Machine {
+        match self {
+            Experiment::MseMp
+            | Experiment::GaussMp
+            | Experiment::GaussAblation
+            | Experiment::Em3dMp
+            | Experiment::LcpMp
+            | Experiment::AlcpMp => Machine::MessagePassing,
+            Experiment::MseSm
+            | Experiment::GaussSm
+            | Experiment::GaussSmPush
+            | Experiment::Em3dSm
+            | Experiment::Em3dSm1Mb
+            | Experiment::Em3dSmLocal
+            | Experiment::Em3dSmBulk
+            | Experiment::Em3dSmFlush
+            | Experiment::Em3dSmPrefetch
+            | Experiment::Em3dSmStache
+            | Experiment::LcpSm
+            | Experiment::AlcpSm => Machine::SharedMemory,
+        }
+    }
+
     /// Which of the paper's tables this experiment reproduces.
     pub fn paper_tables(self) -> &'static str {
         match self {
@@ -139,6 +164,15 @@ impl fmt::Display for Experiment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.id())
     }
+}
+
+/// The two machine models of the paired-simulator comparison.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Machine {
+    /// The CM-5-like message-passing machine (`wwt-mp`).
+    MessagePassing,
+    /// The Dir_nNB cache-coherent shared-memory machine (`wwt-sm`).
+    SharedMemory,
 }
 
 /// Workload scale.
@@ -352,6 +386,16 @@ pub fn run_experiment(e: Experiment, scale: Scale) -> ExperimentOutput {
     run_experiment_with(e, scale, wwt_sim::SimConfig::default())
 }
 
+/// Runs one experiment with explicit engine settings on the paper's
+/// hardware base.
+pub fn run_experiment_with(
+    e: Experiment,
+    scale: Scale,
+    sim: wwt_sim::SimConfig,
+) -> ExperimentOutput {
+    run_experiment_with_arch(e, scale, sim, ArchParams::default())
+}
+
 static SIMULATIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide count of experiment simulations performed (calls to
@@ -364,21 +408,19 @@ pub fn simulations_performed() -> u64 {
 }
 
 /// Runs one experiment with explicit engine settings (e.g. time-resolved
-/// profiling for [`crate::render_timeline`]).
-pub fn run_experiment_with(
+/// profiling for [`crate::render_timeline`]) on an explicit hardware
+/// base — the entry point for architecture sweeps. Experiments that
+/// themselves vary the hardware (e.g. the Table-16 1 MB cache) apply
+/// their variation on top of `arch`.
+pub fn run_experiment_with_arch(
     e: Experiment,
     scale: Scale,
     sim: wwt_sim::SimConfig,
+    arch: ArchParams,
 ) -> ExperimentOutput {
     SIMULATIONS.fetch_add(1, Ordering::Relaxed);
-    let mp_base = MpConfig {
-        sim,
-        ..MpConfig::default()
-    };
-    let sm_base = SmConfig {
-        sim,
-        ..SmConfig::default()
-    };
+    let mp_base = MpConfig::with_arch(arch, sim);
+    let sm_base = SmConfig::with_arch(arch, sim);
     match e {
         Experiment::MseMp => whole_program_mp(
             e,
@@ -472,7 +514,10 @@ pub fn run_experiment_with(
         }
         Experiment::Em3dSm1Mb => {
             let cfg = SmConfig {
-                cache: wwt_mem::CacheGeometry::one_megabyte(),
+                arch: ArchParams {
+                    cache: wwt_mem::CacheGeometry::one_megabyte(),
+                    ..sm_base.arch
+                },
                 ..sm_base
             };
             let mut out = whole_program_sm(

@@ -28,12 +28,13 @@ pub mod experiment;
 pub mod export;
 pub mod paper;
 pub mod runner;
+pub mod sweep;
 pub mod table;
 pub mod timeline;
 
 pub use experiment::{
-    run_experiment, run_experiment_with, simulations_performed, Experiment, ExperimentOutput,
-    ExperimentSummary, Scale,
+    run_experiment, run_experiment_with, run_experiment_with_arch, simulations_performed,
+    Experiment, ExperimentOutput, ExperimentSummary, Machine, Scale,
 };
 #[cfg(feature = "trace-json")]
 pub use export::{breakdown_json, experiment_json};
@@ -43,6 +44,7 @@ pub use runner::TraceArtifacts;
 pub use runner::{
     render_report, render_section, run_grid, timeline_bucket, ExperimentArtifacts, RunnerConfig,
 };
+pub use sweep::{render_sweep_report, run_sweep, SweepOutcome};
 pub use table::{
     breakdown_mp, breakdown_sm, events_mp, events_sm, BreakdownTable, EventTable, Row,
 };
@@ -51,6 +53,7 @@ pub use timeline::{render_timeline, TimelineError};
 // Re-export the component crates so downstream users need only one
 // dependency.
 pub use wwt_apps as apps;
+pub use wwt_arch as arch;
 pub use wwt_mem as mem;
 pub use wwt_mp as mp;
 pub use wwt_sim as sim;

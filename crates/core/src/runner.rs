@@ -36,8 +36,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use wwt_arch::ArchParams;
+
 use crate::cache;
-use crate::experiment::{run_experiment_with, Experiment, ExperimentSummary, Scale};
+use crate::experiment::{run_experiment_with_arch, Experiment, ExperimentSummary, Scale};
 use crate::paper::{headline_checks, paper_reference};
 use crate::timeline::render_timeline;
 
@@ -63,6 +65,10 @@ pub struct RunnerConfig {
     /// Participates in the run-cache key (through the engine
     /// configuration), so faulted and fault-free artifacts never mix.
     pub faults: Option<wwt_sim::FaultConfig>,
+    /// The hardware base every experiment runs on (the paper's Table-1
+    /// machine by default). Participates in the run-cache key, so
+    /// different architecture points never mix.
+    pub arch: ArchParams,
 }
 
 impl RunnerConfig {
@@ -76,6 +82,7 @@ impl RunnerConfig {
             trace: false,
             cache_dir: None,
             faults: None,
+            arch: ArchParams::default(),
         }
     }
 
@@ -158,7 +165,7 @@ fn run_one(e: Experiment, cfg: &RunnerConfig) -> ExperimentArtifacts {
     let start = Instant::now();
     let sim = cfg.sim_config();
     if let Some(dir) = &cfg.cache_dir {
-        if let Some(mut hit) = cache::load(dir, e, cfg.scale, &sim) {
+        if let Some(mut hit) = cache::load(dir, e, cfg.scale, &sim, &cfg.arch) {
             if covers(&hit, cfg) {
                 hit.wall_secs = start.elapsed().as_secs_f64();
                 hit.from_cache = true;
@@ -167,7 +174,7 @@ fn run_one(e: Experiment, cfg: &RunnerConfig) -> ExperimentArtifacts {
         }
     }
 
-    let out = run_experiment_with(e, cfg.scale, sim);
+    let out = run_experiment_with_arch(e, cfg.scale, sim, cfg.arch);
     let timeline = cfg.timeline.then(|| {
         let bucket = timeline_bucket(cfg.scale);
         let rendered = render_timeline(&out.run.report, bucket, 100)
@@ -196,7 +203,7 @@ fn run_one(e: Experiment, cfg: &RunnerConfig) -> ExperimentArtifacts {
     };
     if let Some(dir) = &cfg.cache_dir {
         // Best-effort: a full disk or read-only tree must not fail the run.
-        let _ = cache::save(dir, &art, &sim);
+        let _ = cache::save(dir, &art, &sim, &cfg.arch);
     }
     art
 }

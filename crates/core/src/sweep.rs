@@ -1,0 +1,206 @@
+//! Architecture sweeps: the experiment grid evaluated at many points of
+//! the shared hardware parameter space, with a per-point MP vs SM
+//! comparison table.
+//!
+//! The paper pins one machine (Table 1) and asks where time goes; its
+//! sensitivity studies (the 1 MB cache of Table 16, the local allocation
+//! of Table 17) are single hand-picked points. A sweep runs the same
+//! experiment grid at every point of a parameter cross product
+//! ([`wwt_arch::sweep_points`]) and condenses each point into one row:
+//! total cycles per machine, the share of those cycles spent outside
+//! pure computation (the paper's "where is time spent" number), and the
+//! SM/MP ratio — how the verdict moves as the hardware varies.
+//!
+//! Every point reuses the parallel grid runner and the run cache (each
+//! point has a distinct cache key through
+//! [`crate::cache::config_hash`]), and rendering is a pure function of
+//! the per-experiment summaries, so sweep output is byte-identical for
+//! any `--jobs` count.
+
+use std::fmt::Write as _;
+
+use wwt_arch::ArchParams;
+
+use crate::experiment::{Machine, Scale};
+use crate::runner::{run_grid, ExperimentArtifacts, RunnerConfig};
+use crate::Experiment;
+
+/// One evaluated sweep point: the swept assignments, the full parameter
+/// set, and the grid's artifacts at that point.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// The swept assignments (`net_latency=50` or
+    /// `net_latency=50,dram=5`), unique per point.
+    pub label: String,
+    /// The full parameter set of this point.
+    pub arch: ArchParams,
+    /// Grid artifacts, in experiment order.
+    pub artifacts: Vec<ExperimentArtifacts>,
+}
+
+/// Runs the experiment grid at every sweep point, in order. Each point
+/// inherits everything from `base` (scale, jobs, cache, faults) except
+/// the hardware parameters.
+pub fn run_sweep(
+    experiments: &[Experiment],
+    base: &RunnerConfig,
+    points: &[(String, ArchParams)],
+) -> Vec<SweepOutcome> {
+    points
+        .iter()
+        .map(|(label, arch)| {
+            let cfg = RunnerConfig {
+                arch: *arch,
+                ..base.clone()
+            };
+            SweepOutcome {
+                label: label.clone(),
+                arch: *arch,
+                artifacts: run_grid(experiments, &cfg),
+            }
+        })
+        .collect()
+}
+
+/// Per-machine aggregate of one sweep point: total cycles and the share
+/// spent outside pure computation.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+struct MachineAgg {
+    total: f64,
+    computation: f64,
+    experiments: usize,
+}
+
+impl MachineAgg {
+    fn overhead_pct(&self) -> f64 {
+        if self.total > 0.0 {
+            100.0 * (self.total - self.computation) / self.total
+        } else {
+            0.0
+        }
+    }
+}
+
+fn aggregate(artifacts: &[ExperimentArtifacts]) -> (MachineAgg, MachineAgg, usize, usize) {
+    let mut mp = MachineAgg::default();
+    let mut sm = MachineAgg::default();
+    let mut valid = 0;
+    for a in artifacts {
+        if a.summary.validation_passed {
+            valid += 1;
+        }
+        // The whole-program breakdown is always tables[0]; experiments
+        // without one (the collective ablation) carry no totals.
+        let Some(t) = a.summary.tables.first() else {
+            continue;
+        };
+        let agg = match a.experiment.machine() {
+            Machine::MessagePassing => &mut mp,
+            Machine::SharedMemory => &mut sm,
+        };
+        agg.total += t.total;
+        agg.computation += t.row("Computation").unwrap_or(0.0);
+        agg.experiments += 1;
+    }
+    (mp, sm, valid, artifacts.len())
+}
+
+/// Renders the sweep comparison report: one row per parameter point.
+///
+/// `MP total` / `SM total` sum the whole-program breakdown totals of the
+/// selected experiments on each machine (average cycles per processor,
+/// in millions); `ovh%` is the share of those cycles spent outside pure
+/// computation; `SM/MP` is the headline ratio. Purely a function of the
+/// summaries, so the text is identical for any job count and whether
+/// artifacts came fresh or from the run cache.
+pub fn render_sweep_report(outcomes: &[SweepOutcome], scale: Scale, base: &ArchParams) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "WWT arch sweep — {} scale\nbase: {}\n{}",
+        scale.name(),
+        base.canonical(),
+        "=".repeat(70)
+    );
+    let width = outcomes
+        .iter()
+        .map(|o| o.label.len())
+        .chain(std::iter::once("point".len()))
+        .max()
+        .unwrap_or(5);
+    let _ = writeln!(
+        out,
+        "\n{:<width$} {:>10} {:>6} {:>10} {:>6} {:>6} {:>7}",
+        "point", "MP total", "ovh%", "SM total", "ovh%", "SM/MP", "valid"
+    );
+    for o in outcomes {
+        let (mp, sm, valid, n) = aggregate(&o.artifacts);
+        let ratio = if mp.total > 0.0 {
+            sm.total / mp.total
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<width$} {:>9.2}M {:>6.1} {:>9.2}M {:>6.1} {:>6.2} {:>4}/{}",
+            o.label,
+            mp.total / 1e6,
+            mp.overhead_pct(),
+            sm.total / 1e6,
+            sm.overhead_pct(),
+            ratio,
+            valid,
+            n
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwt_arch::{sweep_points, ArchSweep};
+
+    #[test]
+    fn sweep_produces_one_row_per_point_and_reacts_to_latency() {
+        let base = RunnerConfig::new(Scale::Test);
+        let sweeps = [ArchSweep::parse("net_latency=50,100").unwrap()];
+        let points = sweep_points(&base.arch, &sweeps).unwrap();
+        let es = [Experiment::Em3dMp, Experiment::Em3dSm];
+        let outcomes = run_sweep(&es, &base, &points);
+        assert_eq!(outcomes.len(), 2);
+
+        let report = render_sweep_report(&outcomes, Scale::Test, &base.arch);
+        assert_eq!(
+            report
+                .lines()
+                .filter(|l| l.starts_with("net_latency="))
+                .count(),
+            2,
+            "one comparison row per point:\n{report}"
+        );
+
+        // A slower network can only cost cycles. EM3D's MP version may
+        // hide the latency entirely behind bulk transfers (totals tie),
+        // but SM pays a round trip per remote miss, so it must lose
+        // cycles outright.
+        let (mp50, sm50, valid, n) = aggregate(&outcomes[0].artifacts);
+        let (mp100, sm100, ..) = aggregate(&outcomes[1].artifacts);
+        assert_eq!((valid, n), (2, 2));
+        assert!(
+            mp50.total <= mp100.total,
+            "{} vs {}",
+            mp50.total,
+            mp100.total
+        );
+        assert!(
+            sm50.total < sm100.total,
+            "{} vs {}",
+            sm50.total,
+            sm100.total
+        );
+
+        // And the 100-cycle point is exactly the paper machine.
+        assert!(outcomes[1].arch.is_paper());
+    }
+}

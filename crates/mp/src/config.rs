@@ -1,35 +1,23 @@
 //! Message-passing machine parameters (Tables 1 and 2 of the paper).
 
-use wwt_mem::CacheGeometry;
+use wwt_arch::ArchParams;
 use wwt_sim::{Cycles, SimConfig};
 
 /// Configuration of the message-passing machine.
 ///
-/// Defaults reproduce the paper's hardware tables. The `*_overhead`
-/// fields are software-cost calibration constants for the re-implemented
-/// CMAML/CMMD layers (the paper measures these as "Lib Comp"); they were
-/// chosen so library overheads land in the paper's reported range
-/// (3–42% of program time depending on communication intensity).
+/// The hardware base both machines share (Table 1: cache, TLB, network,
+/// barrier, DRAM) lives in [`ArchParams`]; this struct adds the
+/// MP-specific network-interface costs (Table 2) and the software-cost
+/// calibration constants for the re-implemented CMAML/CMMD layers (the
+/// paper measures these as "Lib Comp"); they were chosen so library
+/// overheads land in the paper's reported range (3–42% of program time
+/// depending on communication intensity).
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct MpConfig {
     /// Engine-level settings (quantum, seed, profiling).
     pub sim: SimConfig,
-    /// Cache geometry (Table 1: 256 KB, 4-way, 32 B blocks).
-    pub cache: CacheGeometry,
-    /// TLB entries (Table 1: 64).
-    pub tlb_entries: usize,
-    /// One-way network latency in cycles (Table 1: 100).
-    pub net_latency: Cycles,
-    /// Barrier latency from last arrival (Table 1: 100).
-    pub barrier_latency: Cycles,
-    /// Private cache miss cost excluding DRAM (Table 1: 11).
-    pub priv_miss: Cycles,
-    /// DRAM access (Table 1: 10).
-    pub dram: Cycles,
-    /// Replacement cost with the infinite write buffer (Table 2: 1).
-    pub replacement: Cycles,
-    /// TLB refill cost (not specified by the paper; calibrated).
-    pub tlb_miss: Cycles,
+    /// The shared hardware base (Table 1), common to both machines.
+    pub arch: ArchParams,
     /// NI status word access (Table 2: 5).
     pub ni_status: Cycles,
     /// NI write of tag + destination (Table 2: 5).
@@ -86,14 +74,7 @@ impl Default for MpConfig {
     fn default() -> Self {
         MpConfig {
             sim: SimConfig::default(),
-            cache: CacheGeometry::paper_default(),
-            tlb_entries: 64,
-            net_latency: 100,
-            barrier_latency: 100,
-            priv_miss: 11,
-            dram: 10,
-            replacement: 1,
-            tlb_miss: 20,
+            arch: ArchParams::default(),
             ni_status: 5,
             ni_tag_dest: 5,
             ni_send: 15,
@@ -117,9 +98,19 @@ impl Default for MpConfig {
 }
 
 impl MpConfig {
+    /// The default machine on an explicit hardware base and engine
+    /// configuration — the entry point for architecture sweeps.
+    pub fn with_arch(arch: ArchParams, sim: SimConfig) -> Self {
+        MpConfig {
+            sim,
+            arch,
+            ..MpConfig::default()
+        }
+    }
+
     /// Full cost of a private cache miss (miss handling plus DRAM).
     pub fn priv_miss_total(&self) -> Cycles {
-        self.priv_miss + self.dram
+        self.arch.priv_miss_total()
     }
 }
 
@@ -130,13 +121,24 @@ mod tests {
     #[test]
     fn defaults_match_paper_tables() {
         let c = MpConfig::default();
-        assert_eq!(c.net_latency, 100);
+        assert_eq!(c.arch.net_latency, 100);
         assert_eq!(c.ni_status, 5);
         assert_eq!(c.ni_tag_dest, 5);
         assert_eq!(c.ni_send, 15);
         assert_eq!(c.ni_recv, 15);
         assert_eq!(c.priv_miss_total(), 21);
-        assert_eq!(c.cache.size_bytes, 256 * 1024);
-        assert_eq!(c.tlb_entries, 64);
+        assert_eq!(c.arch.cache.size_bytes, 256 * 1024);
+        assert_eq!(c.arch.tlb_entries, 64);
+    }
+
+    #[test]
+    fn with_arch_keeps_table_2_costs() {
+        let arch = ArchParams {
+            net_latency: 50,
+            ..ArchParams::default()
+        };
+        let c = MpConfig::with_arch(arch, SimConfig::default());
+        assert_eq!(c.arch.net_latency, 50);
+        assert_eq!(c.ni_send, 15, "Table-2 costs are not part of the sweep");
     }
 }

@@ -65,3 +65,4 @@ pub use collectives::TreeShape;
 pub use config::MpConfig;
 pub use machine::{AmArgs, MpMachine};
 pub use packet::{tag, Packet};
+pub use wwt_arch::ArchParams;

@@ -95,8 +95,8 @@ impl MpNode {
     fn new(nprocs: usize, config: &MpConfig, seed: u64) -> Self {
         MpNode {
             mem: NodeMem::new(),
-            cache: Cache::new(config.cache, seed),
-            tlb: Tlb::new(config.tlb_entries),
+            cache: Cache::new(config.arch.cache, seed),
+            tlb: Tlb::new(config.arch.tlb_entries),
             rx: VecDeque::new(),
             rx_waiter: None,
             dispatched: 0,
@@ -168,7 +168,7 @@ impl MpMachine {
                     .map(|i| MpNode::new(n, &config, seed.wrapping_add(i as u64)))
                     .collect(),
             ),
-            barrier: HwBarrier::new(n, config.barrier_latency),
+            barrier: HwBarrier::new(n, config.arch.barrier_latency),
             config,
             handlers: RefCell::new(HashMap::new()),
             tracing,
@@ -273,14 +273,14 @@ impl MpMachine {
             cpu.charge(
                 Kind::PrivMiss,
                 out.misses as Cycles * self.config.priv_miss_total()
-                    + (out.dirty_evictions as Cycles) * self.config.replacement,
+                    + (out.dirty_evictions as Cycles) * self.config.arch.replacement,
             );
             cpu.count(Counter::PrivMisses, out.misses as u64);
         }
         if out.tlb_misses > 0 {
             cpu.charge(
                 Kind::TlbMiss,
-                out.tlb_misses as Cycles * self.config.tlb_miss,
+                out.tlb_misses as Cycles * self.config.arch.tlb_miss,
             );
             cpu.count(Counter::TlbMisses, out.tlb_misses as u64);
         }
@@ -334,7 +334,7 @@ impl MpMachine {
     /// its fate. Computes the arrival time (network latency plus the
     /// optional congestion model) and schedules [`MpMachine::deliver`].
     fn inject(self: &Rc<Self>, pkt: Packet, depart: Cycles) {
-        let mut arrival = (depart + self.config.net_latency).max(self.sim.now());
+        let mut arrival = (depart + self.config.arch.net_latency).max(self.sim.now());
         if self.config.ni_accept_gap > 0 {
             // First-order congestion: the destination NI accepts at most
             // one packet per gap; later packets queue in the network.
@@ -532,7 +532,7 @@ impl MpMachine {
                 node.unacked[d].pop_front();
             }
             !node.unacked[d].is_empty()
-                && self.sim.now() >= node.rtx_last[d] + 2 * self.config.net_latency
+                && self.sim.now() >= node.rtx_last[d] + 2 * self.config.arch.net_latency
         };
         if fire {
             self.retransmit_unacked(me, pkt.src);

@@ -1,6 +1,6 @@
 //! Shared-memory machine parameters (Tables 1 and 3 of the paper).
 
-use wwt_mem::CacheGeometry;
+use wwt_arch::ArchParams;
 use wwt_sim::{Cycles, SimConfig};
 
 /// Shared-data allocation policy for `gmalloc`.
@@ -27,33 +27,22 @@ pub enum ProtocolMode {
 
 /// Configuration of the shared-memory machine.
 ///
-/// Defaults reproduce the paper's hardware tables.
+/// The hardware base both machines share (Table 1: cache, TLB, network,
+/// barrier, DRAM) lives in [`ArchParams`]; this struct adds the
+/// SM-specific coherence-protocol costs (Table 3).
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct SmConfig {
     /// Engine-level settings (quantum, seed, profiling).
     pub sim: SimConfig,
-    /// Cache geometry (Table 1; set to
-    /// [`CacheGeometry::one_megabyte`] for the Table-16 EM3D variant).
-    pub cache: CacheGeometry,
-    /// TLB entries (Table 1: 64).
-    pub tlb_entries: usize,
-    /// One-way network latency between distinct nodes (Table 1: 100).
-    pub net_latency: Cycles,
-    /// Latency of a protocol message a node sends to itself (Table 3: 10).
-    pub msg_to_self: Cycles,
-    /// Barrier latency from last arrival (Table 1: 100).
-    pub barrier_latency: Cycles,
-    /// Private cache miss cost excluding DRAM (Table 1: 11).
-    pub priv_miss: Cycles,
-    /// DRAM access (Table 1: 10).
-    pub dram: Cycles,
+    /// The shared hardware base (Table 1), common to both machines. The
+    /// Table-16 EM3D variant sets `cache` to
+    /// [`wwt_mem::CacheGeometry::one_megabyte`].
+    pub arch: ArchParams,
     /// Processor-side cost of a shared cache miss, excluding the network
     /// round trip and replacement (Table 3: 19).
     pub shared_miss: Cycles,
     /// Cache-side cost of handling an invalidation (Table 3: 3).
     pub invalidate: Cycles,
-    /// Replacement cost of a private block (Table 3: 1).
-    pub repl_private: Cycles,
     /// Replacement cost of a shared clean block (Table 3: 5).
     pub repl_shared_clean: Cycles,
     /// Replacement cost of a shared dirty block (Table 3: 13).
@@ -69,8 +58,6 @@ pub struct SmConfig {
     /// Additional directory occupancy when a cache block is sent
     /// (Table 3: +8).
     pub dir_send_block: Cycles,
-    /// TLB refill cost (not specified by the paper; calibrated).
-    pub tlb_miss: Cycles,
     /// Bytes of a protocol message without data (header only).
     pub ctrl_msg_bytes: u64,
     /// Data payload bytes of a block-carrying message (the block size; the
@@ -96,23 +83,15 @@ impl Default for SmConfig {
     fn default() -> Self {
         SmConfig {
             sim: SimConfig::default(),
-            cache: CacheGeometry::paper_default(),
-            tlb_entries: 64,
-            net_latency: 100,
-            msg_to_self: 10,
-            barrier_latency: 100,
-            priv_miss: 11,
-            dram: 10,
+            arch: ArchParams::default(),
             shared_miss: 19,
             invalidate: 3,
-            repl_private: 1,
             repl_shared_clean: 5,
             repl_shared_dirty: 13,
             dir_base: 10,
             dir_recv_block: 8,
             dir_send_msg: 5,
             dir_send_block: 8,
-            tlb_miss: 20,
             ctrl_msg_bytes: 8,
             data_msg_bytes: 32,
             alloc_policy: AllocPolicy::RoundRobin,
@@ -125,18 +104,27 @@ impl Default for SmConfig {
 }
 
 impl SmConfig {
-    /// Full cost of a private cache miss (miss handling plus DRAM).
-    pub fn priv_miss_total(&self) -> Cycles {
-        self.priv_miss + self.dram
+    /// The default machine on an explicit hardware base and engine
+    /// configuration — the entry point for architecture sweeps.
+    pub fn with_arch(arch: ArchParams, sim: SimConfig) -> Self {
+        SmConfig {
+            sim,
+            arch,
+            ..SmConfig::default()
+        }
     }
 
-    /// One-way latency between nodes `a` and `b`.
+    /// Full cost of a private cache miss (miss handling plus DRAM).
+    pub fn priv_miss_total(&self) -> Cycles {
+        self.arch.priv_miss_total()
+    }
+
+    /// One-way latency between nodes `a` and `b` (delegates to the
+    /// shared [`ArchParams::latency`] implementation, so the MP and SM
+    /// machines can never drift on the one number the paper holds
+    /// constant).
     pub fn latency(&self, a: usize, b: usize) -> Cycles {
-        if a == b {
-            self.msg_to_self
-        } else {
-            self.net_latency
-        }
+        self.arch.latency(a, b)
     }
 
     /// Total bytes of a block-carrying protocol message.
@@ -152,10 +140,10 @@ mod tests {
     #[test]
     fn defaults_match_paper_table_3() {
         let c = SmConfig::default();
-        assert_eq!(c.msg_to_self, 10);
+        assert_eq!(c.arch.msg_to_self, 10);
         assert_eq!(c.shared_miss, 19);
         assert_eq!(c.invalidate, 3);
-        assert_eq!(c.repl_private, 1);
+        assert_eq!(c.arch.replacement, 1);
         assert_eq!(c.repl_shared_clean, 5);
         assert_eq!(c.repl_shared_dirty, 13);
         assert_eq!(c.dir_base, 10);

@@ -60,3 +60,4 @@ pub mod protocol;
 pub use config::{AllocPolicy, ProtocolMode, SmConfig};
 pub use machine::SmMachine;
 pub use parmacs::{CreateGate, McsLock, SmCollectives};
+pub use wwt_arch::ArchParams;

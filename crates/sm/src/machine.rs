@@ -30,8 +30,8 @@ impl SmNode {
     fn new(config: &SmConfig, seed: u64) -> Self {
         SmNode {
             mem: NodeMem::new(),
-            cache: Cache::new(config.cache, seed),
-            tlb: Tlb::new(config.tlb_entries),
+            cache: Cache::new(config.arch.cache, seed),
+            tlb: Tlb::new(config.arch.tlb_entries),
             dir: HashMap::new(),
             dir_busy: 0,
             pending_prefetch: HashMap::new(),
@@ -85,7 +85,7 @@ impl SmMachine {
                     .map(|i| SmNode::new(&config, seed.wrapping_add(0x5a5a + i as u64)))
                     .collect(),
             ),
-            barrier: HwBarrier::new(n, config.barrier_latency),
+            barrier: HwBarrier::new(n, config.arch.barrier_latency),
             config,
             rr_next: Cell::new(0),
             watchers: RefCell::new(HashMap::new()),
@@ -291,7 +291,7 @@ impl SmMachine {
         if out.tlb_misses > 0 {
             cpu.charge(
                 Kind::TlbMiss,
-                out.tlb_misses as Cycles * self.config.tlb_miss,
+                out.tlb_misses as Cycles * self.config.arch.tlb_miss,
             );
             cpu.count(Counter::TlbMisses, out.tlb_misses as u64);
         }
@@ -314,7 +314,7 @@ impl SmMachine {
         cpu.resync_if_ahead().await;
         let cfg = self.config;
         let me = cpu.id().index();
-        let block_bytes = cfg.cache.block_bytes;
+        let block_bytes = cfg.arch.cache.block_bytes;
         // In bulk-update mode shared writes do not take ownership; the
         // producer publishes explicitly with `bulk_publish`.
         let cache_kind = match (cfg.protocol, kind) {
@@ -337,7 +337,7 @@ impl SmMachine {
                 (tlb_hit, result)
             };
             if !tlb_hit {
-                cpu.charge(Kind::TlbMiss, cfg.tlb_miss);
+                cpu.charge(Kind::TlbMiss, cfg.arch.tlb_miss);
                 cpu.count(Counter::TlbMisses, 1);
             }
             // A hit counts only while the directory still attributes the
@@ -371,7 +371,7 @@ impl SmMachine {
                 if let Some(ev) = result.evicted {
                     let victim = GAddr::from_raw(ev.block);
                     match (victim.segment(), ev.state) {
-                        (Segment::Private, _) => cpu.charge(Kind::PrivMiss, cfg.repl_private),
+                        (Segment::Private, _) => cpu.charge(Kind::PrivMiss, cfg.arch.replacement),
                         (Segment::Shared, state) => {
                             cpu.charge(
                                 Kind::PrivMiss,
@@ -539,7 +539,7 @@ impl SmMachine {
         cpu.resync().await;
         let cfg = self.config;
         let me = cpu.id().index();
-        let block_bytes = cfg.cache.block_bytes;
+        let block_bytes = cfg.arch.cache.block_bytes;
         let first = ga.raw() & !(block_bytes - 1);
         let last = (ga.raw() + bytes - 1) & !(block_bytes - 1);
         let mut block_raw = first;
@@ -572,7 +572,7 @@ impl SmMachine {
         cpu.resync().await;
         let cfg = self.config;
         let me = cpu.id().index();
-        let block_bytes = cfg.cache.block_bytes;
+        let block_bytes = cfg.arch.cache.block_bytes;
         let first = ga.raw() & !(block_bytes - 1);
         let last = (ga.raw() + bytes - 1) & !(block_bytes - 1);
         let mut block_raw = first;
@@ -632,7 +632,7 @@ impl SmMachine {
         let cfg = self.config;
         let me = cpu.id().index();
         let n = self.nprocs();
-        let block_bytes = cfg.cache.block_bytes;
+        let block_bytes = cfg.arch.cache.block_bytes;
         let first = ga.raw() & !(block_bytes - 1);
         let last = (ga.raw() + bytes - 1) & !(block_bytes - 1);
         let mut block_raw = first;
@@ -682,7 +682,7 @@ impl SmMachine {
         cpu.resync().await;
         let cfg = self.config;
         let me = cpu.id().index();
-        let block_bytes = cfg.cache.block_bytes;
+        let block_bytes = cfg.arch.cache.block_bytes;
         let first = ga.raw() & !(block_bytes - 1);
         let last = (ga.raw() + bytes - 1) & !(block_bytes - 1);
         let mut block_raw = first;

@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use wwt_mem::CacheGeometry;
 use wwt_sim::{Counter, Engine, Kind, ProcId, SimConfig};
-use wwt_sm::{AllocPolicy, McsLock, ProtocolMode, SmCollectives, SmConfig, SmMachine};
+use wwt_sm::{AllocPolicy, ArchParams, McsLock, ProtocolMode, SmCollectives, SmConfig, SmMachine};
 
 fn setup(n: usize) -> (Engine, Rc<SmMachine>) {
     let e = Engine::new(n, SimConfig::default());
@@ -103,10 +103,13 @@ fn dirty_eviction_writes_back_and_frees_the_directory() {
     // machine stays coherent and counts the write-back traffic.
     let mut e = Engine::new(2, SimConfig::default());
     let cfg = SmConfig {
-        cache: CacheGeometry {
-            size_bytes: 512,
-            ways: 2,
-            block_bytes: 32,
+        arch: ArchParams {
+            cache: CacheGeometry {
+                size_bytes: 512,
+                ways: 2,
+                block_bytes: 32,
+            },
+            ..ArchParams::default()
         },
         ..SmConfig::default()
     };
@@ -261,11 +264,11 @@ fn remote_miss_cost_matches_table_3_arithmetic() {
         let cost = c0.clock() - t0;
         // tlb + miss handling + request latency + directory occupancy
         // (base + send msg + send block) + response latency.
-        let expect = cfg.tlb_miss
+        let expect = cfg.arch.tlb_miss
             + cfg.shared_miss
-            + cfg.net_latency
+            + cfg.arch.net_latency
             + (cfg.dir_base + cfg.dir_send_msg + cfg.dir_send_block)
-            + cfg.net_latency;
+            + cfg.arch.net_latency;
         assert_eq!(cost, expect);
     });
     let c1 = e.cpu(ProcId::new(1));
@@ -446,10 +449,13 @@ fn stache_refills_evicted_remote_blocks_locally() {
     let run_with = |stache: bool| {
         let mut e = Engine::new(2, SimConfig::default());
         let cfg = SmConfig {
-            cache: CacheGeometry {
-                size_bytes: 512,
-                ways: 2,
-                block_bytes: 32,
+            arch: ArchParams {
+                cache: CacheGeometry {
+                    size_bytes: 512,
+                    ways: 2,
+                    block_bytes: 32,
+                },
+                ..ArchParams::default()
             },
             stache,
             ..SmConfig::default()
@@ -494,10 +500,13 @@ fn stache_copies_still_get_invalidated() {
     // with a remote miss, not a (stale) local refill.
     let mut e = Engine::new(2, SimConfig::default());
     let cfg = SmConfig {
-        cache: CacheGeometry {
-            size_bytes: 256,
-            ways: 2,
-            block_bytes: 32,
+        arch: ArchParams {
+            cache: CacheGeometry {
+                size_bytes: 256,
+                ways: 2,
+                block_bytes: 32,
+            },
+            ..ArchParams::default()
         },
         stache: true,
         ..SmConfig::default()

@@ -10,7 +10,7 @@ use wwt::apps::em3d::{self, Em3dParams};
 use wwt::mem::CacheGeometry;
 use wwt::mp::MpConfig;
 use wwt::sim::{Counter, Kind};
-use wwt::sm::{AllocPolicy, ProtocolMode, SmConfig};
+use wwt::sm::{AllocPolicy, ArchParams, ProtocolMode, SmConfig};
 
 fn main() {
     // A mid-size workload: big enough for capacity effects, small enough
@@ -56,7 +56,10 @@ fn main() {
         (
             "SM, round-robin allocation (paper default)",
             SmConfig {
-                cache: small_cache,
+                arch: ArchParams {
+                    cache: small_cache,
+                    ..ArchParams::default()
+                },
                 ..SmConfig::default()
             },
         ),
@@ -64,7 +67,10 @@ fn main() {
         (
             "SM, local allocation (Table 17)",
             SmConfig {
-                cache: small_cache,
+                arch: ArchParams {
+                    cache: small_cache,
+                    ..ArchParams::default()
+                },
                 alloc_policy: AllocPolicy::Local,
                 ..SmConfig::default()
             },
@@ -72,7 +78,10 @@ fn main() {
         (
             "SM, bulk-update protocol (Section 5.3.4)",
             SmConfig {
-                cache: small_cache,
+                arch: ArchParams {
+                    cache: small_cache,
+                    ..ArchParams::default()
+                },
                 protocol: ProtocolMode::BulkUpdate,
                 ..SmConfig::default()
             },

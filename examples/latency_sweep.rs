@@ -35,12 +35,18 @@ fn main() {
 
     let mut prev_ratio = None;
     for latency in [25u64, 50, 100, 200, 400] {
-        let mcfg = MpConfig {
+        // Both machines share one hardware base; varying it in one place
+        // keeps the comparison apples-to-apples.
+        let arch = wwt::arch::ArchParams {
             net_latency: latency,
+            ..wwt::arch::ArchParams::default()
+        };
+        let mcfg = MpConfig {
+            arch,
             ..MpConfig::default()
         };
         let scfg = SmConfig {
-            net_latency: latency,
+            arch,
             ..SmConfig::default()
         };
         let mp = em3d::mp::run(&p, mcfg);

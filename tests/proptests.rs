@@ -150,10 +150,13 @@ fn sm_coherence_invariants_under_random_traffic() {
         let mut engine = Engine::new(n, SimConfig::default());
         // A tiny cache forces heavy eviction traffic.
         let cfg = SmConfig {
-            cache: CacheGeometry {
-                size_bytes: 1024,
-                ways: 2,
-                block_bytes: 32,
+            arch: wwt::arch::ArchParams {
+                cache: CacheGeometry {
+                    size_bytes: 1024,
+                    ways: 2,
+                    block_bytes: 32,
+                },
+                ..wwt::arch::ArchParams::default()
             },
             ..SmConfig::default()
         };
