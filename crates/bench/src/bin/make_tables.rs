@@ -6,6 +6,7 @@
 //! make_tables [--test-scale] [--jobs N] [--no-cache] [--timeline]
 //!             [--trace OUT.json] [--metrics OUT.json] [--json OUT.json]
 //!             [--faults SPEC] [--arch SPEC] [--arch-sweep KEY=V1,V2,...]
+//!             [--sweep-delta] [--diff A B] [--diff-json OUT.json]
 //!             [experiment-id ...]
 //! ```
 //!
@@ -56,6 +57,19 @@
 //! `--jobs` count. Sweeps produce no per-experiment artifact files, so
 //! `--timeline`/`--trace`/`--metrics`/`--json` cannot combine with them.
 //!
+//! `--diff A B` compares two runs instead of printing the report: each
+//! side is an experiment id with optional `@arch=SPEC` / `@faults=SPEC`
+//! qualifiers (`em3d-mp@arch=net_latency=400`) or a path to a
+//! `results/cache/*.run` entry recorded with phase profiles. Sides given
+//! as experiment ids run with phase marks enabled, through the run cache
+//! — a warm diff never re-simulates. Stdout carries *only* the rendered
+//! diff (phase-aligned, cluster-summarized, attributing the total-cycle
+//! delta to (phase, category, processor-group) entries); a self-diff
+//! prints nothing, and the text is byte-identical for any `--jobs`
+//! value. `--diff-json OUT.json` additionally writes the machine-readable
+//! diff. `--sweep-delta` adds a delta-vs-base column to `--arch-sweep`
+//! rows.
+//!
 //! `--trace` writes a Perfetto-loadable Chrome trace-event file per
 //! experiment (the experiment id is inserted before the extension:
 //! `out.json` becomes `out-em3d-mp.json`). `--metrics` writes the latency
@@ -98,7 +112,12 @@ fn usage() -> ! {
          [--faults seed=S,drop=P,dup=P,reorder=P,jitter=CYCLES,\
          fail=PROC@FROM..UNTIL,slow=PROC@FROM..UNTILxFACTOR] \
          [--arch preset[,key=value,...]] [--arch-sweep key=v1,v2,...]... \
+         [--sweep-delta] [--diff A B] [--diff-json OUT.json] \
          [experiment-id ...]"
+    );
+    eprintln!(
+        "diff sides: an experiment id with optional @arch=SPEC/@faults=SPEC \
+         qualifiers, or a path to a results/cache/*.run entry"
     );
     eprintln!("experiments:");
     for e in Experiment::ALL {
@@ -121,33 +140,99 @@ fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Compaction: keep only the latest this-many records per
+/// (scale, jobs, cache, experiment-set) key, so `BENCH_grid.json` stays
+/// bounded no matter how many invocations accumulate.
+const BENCH_KEEP_PER_KEY: usize = 8;
+
+/// The compaction key of one record line. Extracted textually (records
+/// are single-line JSON we wrote ourselves); records from older schemas
+/// simply yield empty fields and compact amongst themselves.
+fn bench_key(rec: &str) -> String {
+    let field = |name: &str| -> String {
+        rec.split(&format!("\"{name}\":"))
+            .nth(1)
+            .map(|r| r.chars().take_while(|c| !",}".contains(*c)).collect())
+            .unwrap_or_default()
+    };
+    let ids: Vec<&str> = rec
+        .split("\"id\":\"")
+        .skip(1)
+        .filter_map(|r| r.split('"').next())
+        .collect();
+    format!(
+        "{}|{}|{}|{}",
+        field("scale"),
+        field("jobs"),
+        field("cache"),
+        ids.join(",")
+    )
+}
+
 /// One invocation's timing record, appended to `results/BENCH_grid.json`
 /// (`{"runs":[...]}`) so successive runs — e.g. `--jobs 1` vs `--jobs 4`
-/// — can be compared.
+/// — can be compared. Each append compacts the file to the latest
+/// [`BENCH_KEEP_PER_KEY`] records per (scale, jobs, cache,
+/// experiment-set) key; an unreadable or foreign file starts over with
+/// just the new record.
 fn append_bench_record(path: &str, record: &str) -> std::io::Result<()> {
     if let Some(dir) = std::path::Path::new(path).parent() {
         std::fs::create_dir_all(dir)?;
     }
-    let body = match std::fs::read_to_string(path) {
-        Ok(s) if s.trim_end().ends_with("]}") => {
-            let t = s.trim_end();
-            format!("{},\n{record}]}}\n", &t[..t.len() - 2].trim_end())
+    let mut records: Vec<String> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| {
+            let body = s
+                .trim_end()
+                .strip_prefix("{\"runs\":[")?
+                .strip_suffix("]}")?
+                .to_string();
+            Some(
+                body.split(",\n")
+                    .map(str::trim)
+                    .filter(|l| !l.is_empty())
+                    .map(str::to_string)
+                    .collect(),
+            )
+        })
+        .unwrap_or_default();
+    records.push(record.to_string());
+    let keys: Vec<String> = records.iter().map(|r| bench_key(r)).collect();
+    let mut keep = vec![false; records.len()];
+    let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for i in (0..records.len()).rev() {
+        let c = counts.entry(keys[i].as_str()).or_insert(0);
+        if *c < BENCH_KEEP_PER_KEY {
+            keep[i] = true;
+            *c += 1;
         }
-        _ => format!("{{\"runs\":[\n{record}]}}\n"),
-    };
-    std::fs::write(path, body)
+    }
+    let kept: Vec<&str> = records
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(r, _)| r.as_str())
+        .collect();
+    std::fs::write(path, format!("{{\"runs\":[\n{}]}}\n", kept.join(",\n")))
 }
 
 fn bench_record(
     scale: Scale,
     jobs: usize,
     cache: bool,
+    arch: &ArchParams,
+    faults_spec: Option<&str>,
     total_secs: f64,
     artifacts: &[ExperimentArtifacts],
 ) -> String {
+    let faults = match faults_spec {
+        Some(f) => format!("\"{f}\""),
+        None => "null".to_string(),
+    };
     let mut rec = format!(
-        "{{\"scale\":\"{}\",\"jobs\":{jobs},\"cache\":{cache},\"total_wall_secs\":{total_secs:.6},\"experiments\":[",
-        scale.name()
+        "{{\"schema\":2,\"scale\":\"{}\",\"jobs\":{jobs},\"cache\":{cache},\"arch_hash\":\"{:016x}\",\"faults\":{faults},\"total_wall_secs\":{total_secs:.6},\"experiments\":[",
+        scale.name(),
+        arch.stable_hash()
     );
     for (i, a) in artifacts.iter().enumerate() {
         if i > 0 {
@@ -165,6 +250,60 @@ fn bench_record(
     rec
 }
 
+/// Resolves one `--diff` side into a labeled run profile.
+///
+/// A spec containing `/` or ending in `.run` is a cached-run path; it is
+/// loaded as-is and never re-simulated. Anything else is an experiment
+/// id with optional `@arch=SPEC` / `@faults=SPEC` qualifiers, run
+/// through the grid runner (and the run cache) with phase marks on.
+fn resolve_diff_side(
+    spec: &str,
+    base: &RunnerConfig,
+) -> Result<(String, bool, wwt_core::diff::RunProfile), String> {
+    if spec.contains('/') || spec.ends_with(".run") {
+        let art = wwt_core::cache::load_path(std::path::Path::new(spec))
+            .ok_or_else(|| format!("cannot load cached run '{spec}'"))?;
+        let prof = art.phases.ok_or_else(|| {
+            format!("cached run '{spec}' carries no phase profile; re-record it via --diff with experiment ids")
+        })?;
+        return Ok((format!("{spec} ({})", art.experiment.id()), true, prof));
+    }
+    let mut parts = spec.split('@');
+    let id = parts.next().unwrap_or("");
+    let e = Experiment::from_id(id)
+        .ok_or_else(|| format!("unknown experiment '{id}' in diff side '{spec}'"))?;
+    let mut cfg = RunnerConfig {
+        phases: true,
+        timeline: false,
+        trace: false,
+        ..base.clone()
+    };
+    for q in parts {
+        if let Some(s) = q.strip_prefix("arch=") {
+            cfg.arch = ArchParams::parse(s)
+                .map_err(|err| format!("invalid arch in diff side '{spec}': {err}"))?;
+        } else if let Some(s) = q.strip_prefix("faults=") {
+            cfg.faults = Some(
+                wwt_core::sim::FaultConfig::parse(s)
+                    .map_err(|err| format!("invalid faults in diff side '{spec}': {err}"))?,
+            );
+        } else {
+            return Err(format!(
+                "unknown qualifier '@{q}' in diff side '{spec}' (use @arch=SPEC or @faults=SPEC)"
+            ));
+        }
+    }
+    let arts = run_grid(&[e], &cfg);
+    let art = arts
+        .into_iter()
+        .next()
+        .expect("one experiment in, one artifact out");
+    let prof = art
+        .phases
+        .expect("phase profiles were requested for this run");
+    Ok((spec.to_string(), art.from_cache, prof))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
@@ -175,8 +314,12 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut json_out: Option<String> = None;
     let mut faults: Option<wwt_core::sim::FaultConfig> = None;
+    let mut faults_spec: Option<String> = None;
     let mut arch = ArchParams::default();
     let mut sweeps: Vec<ArchSweep> = Vec::new();
+    let mut sweep_delta = false;
+    let mut diff: Option<(String, String)> = None;
+    let mut diff_json_out: Option<String> = None;
     let mut selectors: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -197,7 +340,10 @@ fn main() {
             "--faults" => {
                 let spec = it.next().unwrap_or_else(|| usage());
                 match wwt_core::sim::FaultConfig::parse(spec) {
-                    Ok(cfg) => faults = Some(cfg),
+                    Ok(cfg) => {
+                        faults = Some(cfg);
+                        faults_spec = Some(spec.clone());
+                    }
                     Err(err) => {
                         eprintln!("invalid --faults spec: {err}");
                         usage();
@@ -224,6 +370,13 @@ fn main() {
                     }
                 }
             }
+            "--sweep-delta" => sweep_delta = true,
+            "--diff" => {
+                let a = it.next().cloned().unwrap_or_else(|| usage());
+                let b = it.next().cloned().unwrap_or_else(|| usage());
+                diff = Some((a, b));
+            }
+            "--diff-json" => diff_json_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             id => selectors.push(id.to_string()),
         }
@@ -248,7 +401,53 @@ fn main() {
         cache_dir: use_cache.then(|| PathBuf::from("results/cache")),
         faults,
         arch,
+        phases: false,
     };
+
+    if let Some((spec_a, spec_b)) = diff {
+        // Diff mode: stdout carries only the rendered diff (a self-diff
+        // prints nothing), so it stays byte-identical across job counts
+        // and cache states; everything else goes to stderr.
+        if !sweeps.is_empty() || timeline || tracing_requested {
+            eprintln!(
+                "--diff cannot combine with --arch-sweep/--timeline/--trace/--metrics/--json"
+            );
+            std::process::exit(2);
+        }
+        if !selectors.is_empty() {
+            eprintln!("--diff takes its experiments from its two sides; drop the extra ids");
+            std::process::exit(2);
+        }
+        let start = std::time::Instant::now();
+        let resolve = |spec: &str| {
+            resolve_diff_side(spec, &cfg).unwrap_or_else(|err| {
+                eprintln!("{err}");
+                std::process::exit(2);
+            })
+        };
+        let (label_a, cached_a, prof_a) = resolve(&spec_a);
+        let (label_b, cached_b, prof_b) = resolve(&spec_b);
+        let d = wwt_core::diff::diff_profiles(&prof_a, &prof_b);
+        print!("{}", wwt_core::diff::render_diff(&d, &prof_a, &prof_b));
+        if let Some(path) = &diff_json_out {
+            let body = wwt_core::diff::diff_json(&d, &prof_a, &prof_b);
+            std::fs::write(path, body).unwrap_or_else(|err| panic!("writing {path}: {err}"));
+            eprintln!("wrote diff json {path}");
+        }
+        let cached = |c: bool| if c { " (cached)" } else { "" };
+        eprintln!(
+            "timing: diff A={label_a}{} B={label_b}{} in {:.2}s",
+            cached(cached_a),
+            cached(cached_b),
+            start.elapsed().as_secs_f64()
+        );
+        return;
+    }
+
+    if diff_json_out.is_some() {
+        eprintln!("--diff-json requires --diff");
+        std::process::exit(2);
+    }
 
     if !sweeps.is_empty() {
         // Sweeps print one comparison row per point, not per-experiment
@@ -264,7 +463,10 @@ fn main() {
         let start = std::time::Instant::now();
         let outcomes = run_sweep(&selected, &cfg, &points);
         let total_secs = start.elapsed().as_secs_f64();
-        print!("{}", render_sweep_report(&outcomes, scale, &arch));
+        print!(
+            "{}",
+            render_sweep_report(&outcomes, scale, &arch, sweep_delta)
+        );
         // Timings go to stderr, never stdout: sweep output must be
         // byte-identical across job counts and cache states.
         for o in &outcomes {
@@ -355,7 +557,15 @@ fn main() {
         cfg.jobs,
         artifacts.len()
     );
-    let record = bench_record(scale, cfg.jobs, use_cache, total_secs, &artifacts);
+    let record = bench_record(
+        scale,
+        cfg.jobs,
+        use_cache,
+        &arch,
+        faults_spec.as_deref(),
+        total_secs,
+        &artifacts,
+    );
     if let Err(err) = append_bench_record("results/BENCH_grid.json", &record) {
         eprintln!("could not record results/BENCH_grid.json: {err}");
     }
@@ -407,5 +617,51 @@ mod tests {
         assert_eq!(s, "{\"runs\":[\n{\"jobs\":1},\n{\"jobs\":4}]}\n");
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_records_compact_to_the_latest_n_per_key() {
+        let dir = std::env::temp_dir().join(format!("wwt-bench-compact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_grid.json");
+        let path = path.to_str().unwrap();
+        // One key, appended far past the retention limit.
+        for i in 0..(BENCH_KEEP_PER_KEY + 5) {
+            let rec = format!(
+                "{{\"schema\":2,\"scale\":\"test\",\"jobs\":4,\"cache\":true,\"seq\":{i},\
+                 \"experiments\":[{{\"id\":\"em3d-mp\",\"wall_secs\":0.1,\"cached\":false}}]}}"
+            );
+            append_bench_record(path, &rec).unwrap();
+        }
+        // A different key (other jobs count) must not be evicted by the
+        // first key's overflow.
+        append_bench_record(
+            path,
+            "{\"schema\":2,\"scale\":\"test\",\"jobs\":1,\"cache\":true,\
+             \"experiments\":[{\"id\":\"em3d-mp\",\"wall_secs\":0.2,\"cached\":false}]}",
+        )
+        .unwrap();
+        let s = std::fs::read_to_string(path).unwrap();
+        assert_eq!(s.matches("\"jobs\":4").count(), BENCH_KEEP_PER_KEY, "{s}");
+        assert_eq!(s.matches("\"jobs\":1").count(), 1, "{s}");
+        // The survivors are the *latest* records of the crowded key.
+        assert!(!s.contains("\"seq\":0,"), "{s}");
+        assert!(
+            s.contains(&format!("\"seq\":{},", BENCH_KEEP_PER_KEY + 4)),
+            "{s}"
+        );
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_key_separates_configurations() {
+        let a = "{\"schema\":2,\"scale\":\"test\",\"jobs\":4,\"cache\":true,\"experiments\":[{\"id\":\"em3d-mp\"}]}";
+        let b = "{\"schema\":2,\"scale\":\"test\",\"jobs\":1,\"cache\":true,\"experiments\":[{\"id\":\"em3d-mp\"}]}";
+        let c = "{\"schema\":2,\"scale\":\"test\",\"jobs\":4,\"cache\":true,\"experiments\":[{\"id\":\"em3d-sm\"}]}";
+        assert_ne!(bench_key(a), bench_key(b));
+        assert_ne!(bench_key(a), bench_key(c));
+        assert_eq!(bench_key(a), bench_key(a));
     }
 }

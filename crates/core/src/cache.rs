@@ -36,7 +36,8 @@ use crate::table::{BreakdownTable, EventTable, Row};
 
 /// Bump when the serialization format or the meaning of cached fields
 /// changes; old entries then miss instead of misparsing.
-const FORMAT_VERSION: u32 = 1;
+/// Version 2: phase-profile blobs, percentile fields in metrics blobs.
+const FORMAT_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -160,6 +161,9 @@ fn serialize(a: &ExperimentArtifacts) -> Option<String> {
     }
     if let Some(t) = &a.timeline {
         push_blob(&mut out, "timeline", t);
+    }
+    if let Some(p) = &a.phases {
+        push_blob(&mut out, "phases", &p.to_text());
     }
     #[cfg(feature = "trace-json")]
     if let Some(t) = &a.trace {
@@ -307,6 +311,7 @@ fn parse(text: &str, e: Experiment, scale: Scale) -> Option<ExperimentArtifacts>
     }
 
     let mut timeline = None;
+    let mut phases = None;
     let mut blobs: Vec<(String, String)> = Vec::new();
     loop {
         let line = c.line()?;
@@ -318,6 +323,10 @@ fn parse(text: &str, e: Experiment, scale: Scale) -> Option<ExperimentArtifacts>
         let body = c.blob_body(len.parse().ok()?)?.to_string();
         if name == "timeline" {
             timeline = Some(body);
+        } else if name == "phases" {
+            // A damaged profile blob poisons the whole entry: better to
+            // re-simulate than to diff against garbage.
+            phases = Some(wwt_diff::RunProfile::from_text(&body)?);
         } else {
             blobs.push((name.to_string(), body));
         }
@@ -367,9 +376,26 @@ fn parse(text: &str, e: Experiment, scale: Scale) -> Option<ExperimentArtifacts>
         timeline,
         #[cfg(feature = "trace-json")]
         trace,
+        phases,
         wall_secs,
         from_cache: true,
     })
+}
+
+/// Loads a cache entry directly by file path (the `--diff <path>` form),
+/// recovering the experiment and scale from the entry header instead of
+/// requiring the caller to know the key. `None` on any damage.
+pub fn load_path(path: &Path) -> Option<ExperimentArtifacts> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    let _header = lines.next()?;
+    let e = Experiment::from_id(lines.next()?.strip_prefix("experiment ")?)?;
+    let scale = match lines.next()?.strip_prefix("scale ")? {
+        "paper" => Scale::Paper,
+        "test" => Scale::Test,
+        _ => return None,
+    };
+    parse(&text, e, scale)
 }
 
 /// Loads the cached artifacts for one (experiment, scale, config) triple.
@@ -445,6 +471,13 @@ mod tests {
             timeline: Some("\n### gauss-mp — timeline\nP0 |##SS|\n".into()),
             #[cfg(feature = "trace-json")]
             trace: None,
+            phases: Some(wwt_diff::RunProfile {
+                nprocs: 2,
+                phases: vec![wwt_diff::Phase {
+                    segments: 3,
+                    per_proc: vec![[7; wwt_sim::Kind::COUNT]; 2],
+                }],
+            }),
             wall_secs: 1.5,
             from_cache: false,
         }
@@ -457,8 +490,25 @@ mod tests {
         let b = parse(&text, a.experiment, a.summary.scale).unwrap();
         assert_eq!(a.summary, b.summary);
         assert_eq!(a.timeline, b.timeline);
+        assert_eq!(a.phases, b.phases);
         assert_eq!(a.wall_secs, b.wall_secs);
         assert!(b.from_cache);
+    }
+
+    #[test]
+    fn load_path_recovers_entry_without_the_key() {
+        let dir = std::env::temp_dir().join(format!("wwt-cache-bypath-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let a = sample_artifacts();
+        let sim = wwt_sim::SimConfig::default();
+        let arch = ArchParams::default();
+        save(&dir, &a, &sim, &arch).unwrap();
+        let path = entry_path(&dir, a.experiment, Scale::Test, &sim, &arch);
+        let b = load_path(&path).unwrap();
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.phases, b.phases);
+        assert!(load_path(&dir.join("missing.run")).is_none());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

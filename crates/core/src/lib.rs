@@ -54,6 +54,7 @@ pub use timeline::{render_timeline, TimelineError};
 // dependency.
 pub use wwt_apps as apps;
 pub use wwt_arch as arch;
+pub use wwt_diff as diff;
 pub use wwt_mem as mem;
 pub use wwt_mp as mp;
 pub use wwt_sim as sim;

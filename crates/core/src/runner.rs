@@ -69,6 +69,11 @@ pub struct RunnerConfig {
     /// machine by default). Participates in the run-cache key, so
     /// different architecture points never mix.
     pub arch: ArchParams,
+    /// Record phase marks at barriers/collectives and derive a
+    /// [`wwt_diff::RunProfile`] per experiment (the `--diff` input).
+    /// Participates in the run-cache key through the engine
+    /// configuration.
+    pub phases: bool,
 }
 
 impl RunnerConfig {
@@ -83,6 +88,7 @@ impl RunnerConfig {
             cache_dir: None,
             faults: None,
             arch: ArchParams::default(),
+            phases: false,
         }
     }
 
@@ -92,6 +98,7 @@ impl RunnerConfig {
         wwt_sim::SimConfig {
             profile_bucket: self.timeline.then(|| timeline_bucket(self.scale)),
             trace: self.trace && cfg!(feature = "trace-json"),
+            phase_marks: self.phases,
             faults: self.faults,
             // Faulted runs can stall in ways fault-free runs cannot
             // (e.g. a permanent fail window silences one node), so give
@@ -140,6 +147,9 @@ pub struct ExperimentArtifacts {
     /// Trace exports, when requested.
     #[cfg(feature = "trace-json")]
     pub trace: Option<TraceArtifacts>,
+    /// The phase-structured run profile (the `--diff` input), when
+    /// requested via [`RunnerConfig::phases`].
+    pub phases: Option<wwt_diff::RunProfile>,
     /// Wall-clock seconds this invocation spent producing the artifacts
     /// (near zero on a cache hit).
     pub wall_secs: f64,
@@ -154,6 +164,9 @@ fn covers(a: &ExperimentArtifacts, cfg: &RunnerConfig) -> bool {
     }
     #[cfg(feature = "trace-json")]
     if cfg.trace && a.trace.is_none() {
+        return false;
+    }
+    if cfg.phases && a.phases.is_none() {
         return false;
     }
     true
@@ -192,12 +205,16 @@ fn run_one(e: Experiment, cfg: &RunnerConfig) -> ExperimentArtifacts {
             experiment_json: crate::export::experiment_json(&out),
         }
     });
+    let phases = cfg
+        .phases
+        .then(|| wwt_diff::RunProfile::from_report(&out.run.report));
     let art = ExperimentArtifacts {
         experiment: e,
         summary: out.summary(),
         timeline,
         #[cfg(feature = "trace-json")]
         trace,
+        phases,
         wall_secs: start.elapsed().as_secs_f64(),
         from_cache: false,
     };

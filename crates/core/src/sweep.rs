@@ -110,10 +110,19 @@ fn aggregate(artifacts: &[ExperimentArtifacts]) -> (MachineAgg, MachineAgg, usiz
 /// `MP total` / `SM total` sum the whole-program breakdown totals of the
 /// selected experiments on each machine (average cycles per processor,
 /// in millions); `ovh%` is the share of those cycles spent outside pure
-/// computation; `SM/MP` is the headline ratio. Purely a function of the
-/// summaries, so the text is identical for any job count and whether
-/// artifacts came fresh or from the run cache.
-pub fn render_sweep_report(outcomes: &[SweepOutcome], scale: Scale, base: &ArchParams) -> String {
+/// computation; `SM/MP` is the headline ratio; `arch` is the point's
+/// [`ArchParams::stable_hash`], matching the hash embedded in
+/// `results/cache/` entry keys so rows can be cross-referenced against
+/// cached runs by eye. With `delta_vs_base` set, a `Δtot%` column
+/// reports how the point's combined MP+SM total moved against the first
+/// row. Purely a function of the summaries, so the text is identical for
+/// any job count and whether artifacts came fresh or from the run cache.
+pub fn render_sweep_report(
+    outcomes: &[SweepOutcome],
+    scale: Scale,
+    base: &ArchParams,
+    delta_vs_base: bool,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -128,11 +137,19 @@ pub fn render_sweep_report(outcomes: &[SweepOutcome], scale: Scale, base: &ArchP
         .chain(std::iter::once("point".len()))
         .max()
         .unwrap_or(5);
-    let _ = writeln!(
+    let _ = write!(
         out,
-        "\n{:<width$} {:>10} {:>6} {:>10} {:>6} {:>6} {:>7}",
-        "point", "MP total", "ovh%", "SM total", "ovh%", "SM/MP", "valid"
+        "\n{:<width$} {:>10} {:>6} {:>10} {:>6} {:>6} {:>7} {:>16}",
+        "point", "MP total", "ovh%", "SM total", "ovh%", "SM/MP", "valid", "arch"
     );
+    let _ = writeln!(out, "{}", if delta_vs_base { "   Δtot%" } else { "" });
+    let base_total = outcomes
+        .first()
+        .map(|o| {
+            let (mp, sm, ..) = aggregate(&o.artifacts);
+            mp.total + sm.total
+        })
+        .unwrap_or(0.0);
     for o in outcomes {
         let (mp, sm, valid, n) = aggregate(&o.artifacts);
         let ratio = if mp.total > 0.0 {
@@ -140,9 +157,9 @@ pub fn render_sweep_report(outcomes: &[SweepOutcome], scale: Scale, base: &ArchP
         } else {
             0.0
         };
-        let _ = writeln!(
+        let _ = write!(
             out,
-            "{:<width$} {:>9.2}M {:>6.1} {:>9.2}M {:>6.1} {:>6.2} {:>4}/{}",
+            "{:<width$} {:>9.2}M {:>6.1} {:>9.2}M {:>6.1} {:>6.2} {:>4}/{} {:016x}",
             o.label,
             mp.total / 1e6,
             mp.overhead_pct(),
@@ -150,8 +167,18 @@ pub fn render_sweep_report(outcomes: &[SweepOutcome], scale: Scale, base: &ArchP
             sm.overhead_pct(),
             ratio,
             valid,
-            n
+            n,
+            o.arch.stable_hash()
         );
+        if delta_vs_base {
+            let total = mp.total + sm.total;
+            if base_total > 0.0 {
+                let _ = write!(out, " {:>+7.1}", 100.0 * (total - base_total) / base_total);
+            } else {
+                let _ = write!(out, " {:>7}", "n/a");
+            }
+        }
+        out.push('\n');
     }
     out
 }
@@ -170,7 +197,7 @@ mod tests {
         let outcomes = run_sweep(&es, &base, &points);
         assert_eq!(outcomes.len(), 2);
 
-        let report = render_sweep_report(&outcomes, Scale::Test, &base.arch);
+        let report = render_sweep_report(&outcomes, Scale::Test, &base.arch, false);
         assert_eq!(
             report
                 .lines()
@@ -179,6 +206,17 @@ mod tests {
             2,
             "one comparison row per point:\n{report}"
         );
+        // Every row carries its point's arch hash for cache
+        // cross-referencing.
+        for o in &outcomes {
+            let hash = format!("{:016x}", o.arch.stable_hash());
+            assert!(report.contains(&hash), "missing {hash}:\n{report}");
+        }
+        // The delta column appears on request and pins the base row at 0.
+        let with_delta = render_sweep_report(&outcomes, Scale::Test, &base.arch, true);
+        assert!(with_delta.contains("Δtot%"), "{with_delta}");
+        assert!(with_delta.contains("+0.0"), "{with_delta}");
+        assert!(!report.contains("Δtot%"));
 
         // A slower network can only cost cycles. EM3D's MP version may
         // hide the latency entirely behind bulk transfers (totals tie),

@@ -1,0 +1,163 @@
+//! Per-phase processor clustering: a handful of representative groups
+//! instead of P raw rows.
+//!
+//! Within a phase, most processors of an SPMD program behave alike; the
+//! interesting ones are the outliers (the overloaded boundary node, the
+//! root of a reduction tree). Processors whose normalized breakdown
+//! vectors sit within a total-variation distance threshold of a cluster
+//! leader collapse into that cluster; what remains is a list of cluster
+//! centroids with member sets, ordered by cycle weight.
+
+use wwt_sim::Kind;
+
+use crate::profile::{normalize, tv_distance, KindVec};
+
+/// Total-variation distance within which a processor joins an existing
+/// cluster. Tighter than the phase-merge threshold: clusters answer
+/// "which processors moved", so they must not blur real outliers away.
+pub const CLUSTER_DISTANCE: f64 = 0.05;
+
+/// One group of processors with similar breakdowns inside a phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cluster {
+    /// Member processor ids, ascending.
+    pub members: Vec<usize>,
+    /// Mean normalized breakdown of the members.
+    pub centroid: [f64; Kind::COUNT],
+    /// Cycles of the members inside the phase, summed.
+    pub total: u64,
+}
+
+/// Clusters processors by normalized breakdown similarity.
+///
+/// Deterministic leader clustering: processors are visited in id order;
+/// each joins the first existing cluster whose *leader* (lowest-id
+/// member) is within `threshold` total-variation distance, else founds a
+/// new cluster. Output order is by descending cycle weight (leader id
+/// breaks ties), so the heaviest group comes first.
+pub fn cluster_procs(per_proc: &[KindVec], threshold: f64) -> Vec<Cluster> {
+    struct Building {
+        leader_sig: [f64; Kind::COUNT],
+        members: Vec<usize>,
+        sig_sum: [f64; Kind::COUNT],
+        total: u64,
+    }
+    let mut building: Vec<Building> = Vec::new();
+    for (id, v) in per_proc.iter().enumerate() {
+        let sig = normalize(v);
+        let total: u64 = v.iter().sum();
+        match building
+            .iter_mut()
+            .find(|c| tv_distance(&c.leader_sig, &sig) <= threshold)
+        {
+            Some(c) => {
+                c.members.push(id);
+                for (s, x) in c.sig_sum.iter_mut().zip(sig.iter()) {
+                    *s += x;
+                }
+                c.total += total;
+            }
+            None => building.push(Building {
+                leader_sig: sig,
+                members: vec![id],
+                sig_sum: sig,
+                total,
+            }),
+        }
+    }
+    let mut out: Vec<Cluster> = building
+        .into_iter()
+        .map(|c| {
+            let n = c.members.len() as f64;
+            let mut centroid = c.sig_sum;
+            for x in centroid.iter_mut() {
+                *x /= n;
+            }
+            Cluster {
+                members: c.members,
+                centroid,
+                total: c.total,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.total.cmp(&a.total).then(a.members[0].cmp(&b.members[0])));
+    out
+}
+
+/// Formats a sorted processor-id set as compact ranges: `0-3,7,12-15`.
+pub fn format_procs(members: &[usize]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < members.len() {
+        let start = members[i];
+        let mut end = start;
+        while i + 1 < members.len() && members[i + 1] == end + 1 {
+            i += 1;
+            end = members[i];
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        if end > start {
+            out.push_str(&format!("{start}-{end}"));
+        } else {
+            out.push_str(&format!("{start}"));
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(compute: u64, wait: u64) -> KindVec {
+        let mut v = [0u64; Kind::COUNT];
+        v[Kind::Compute.index()] = compute;
+        v[Kind::BarrierWait.index()] = wait;
+        v
+    }
+
+    #[test]
+    fn identical_procs_form_one_cluster() {
+        let procs = vec![vec_of(100, 20); 8];
+        let cs = cluster_procs(&procs, CLUSTER_DISTANCE);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].members, (0..8).collect::<Vec<_>>());
+        assert_eq!(cs[0].total, 8 * 120);
+    }
+
+    #[test]
+    fn outliers_stand_alone_and_heaviest_cluster_comes_first() {
+        // Procs 0-5 compute-bound, 6-7 wait-bound (and heavier).
+        let mut procs = vec![vec_of(100, 5); 6];
+        procs.push(vec_of(10, 500));
+        procs.push(vec_of(12, 520));
+        let cs = cluster_procs(&procs, CLUSTER_DISTANCE);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].members, vec![6, 7], "wait-bound pair is heavier");
+        assert_eq!(cs[1].members, vec![0, 1, 2, 3, 4, 5]);
+        assert!(cs[0].centroid[Kind::BarrierWait.index()] > 0.9);
+    }
+
+    #[test]
+    fn centroid_is_the_mean_of_member_signatures() {
+        let procs = vec![vec_of(100, 0), vec_of(98, 2)];
+        let cs = cluster_procs(&procs, CLUSTER_DISTANCE);
+        assert_eq!(cs.len(), 1);
+        let c = cs[0].centroid[Kind::Compute.index()];
+        assert!((c - 0.99).abs() < 1e-12, "{c}");
+    }
+
+    #[test]
+    fn proc_ranges_format_compactly() {
+        assert_eq!(format_procs(&[0, 1, 2, 3]), "0-3");
+        assert_eq!(
+            format_procs(&[0, 1, 2, 3, 7, 12, 13, 14, 15]),
+            "0-3,7,12-15"
+        );
+        assert_eq!(format_procs(&[5]), "5");
+        assert_eq!(format_procs(&[]), "");
+    }
+}

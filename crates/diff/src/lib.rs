@@ -1,0 +1,39 @@
+//! Automatic performance diffing for the WWT reproduction.
+//!
+//! The paper's contribution is a *breakdown* of where time goes; this
+//! crate explains where time *moved*. It consumes the per-processor
+//! artifacts the instrumentation already emits — cumulative phase marks
+//! recorded at barrier crossings and collective completions
+//! ([`wwt_sim::PhaseMark`]) plus the final cycle matrices — and turns
+//! them into structured comparisons, in three layers:
+//!
+//! 1. **Phase detection** ([`profile`]): simulated time is segmented at
+//!    synchronization boundaries, adjacent segments with similar
+//!    normalized breakdowns are merged (repeated loop iterations become
+//!    one phase), and each phase carries a per-processor × per-category
+//!    cycle matrix.
+//! 2. **Processor clustering** ([`cluster`]): within a phase, processors
+//!    whose normalized breakdown vectors sit within a total-variation
+//!    distance threshold collapse into one cluster — centroids and
+//!    outliers instead of P raw rows, in the spirit of similarity-based
+//!    performance debugging of SPMD programs.
+//! 3. **Two-run diffing** ([`diff`]): phases of run A and run B are
+//!    aligned (Needleman–Wunsch over breakdown similarity), the
+//!    total-cycle delta is attributed *exactly* to (phase, category,
+//!    processor-group) entries, and the result renders as both a human
+//!    report and machine-readable JSON.
+//!
+//! Everything here is a pure function of the run reports: diffing the
+//! same two runs produces byte-identical output regardless of how the
+//! runs were scheduled or whether they were replayed from a cache.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod diff;
+pub mod profile;
+
+pub use cluster::{cluster_procs, format_procs, Cluster, CLUSTER_DISTANCE};
+pub use diff::{diff_json, diff_profiles, render_diff, DiffEntry, DiffReport};
+pub use profile::{KindVec, Phase, RunProfile};

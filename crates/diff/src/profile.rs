@@ -1,0 +1,341 @@
+//! Phase detection: segmenting a run at synchronization boundaries and
+//! merging similar segments into phases.
+//!
+//! Every processor records a cumulative [`wwt_sim::PhaseMark`] when it
+//! crosses a barrier or completes a collective (when
+//! [`SimConfig::phase_marks`](wwt_sim::SimConfig) is set). Because the
+//! target programs are SPMD, the k-th mark on every processor describes
+//! the same program point, so the marks cut the run into globally
+//! aligned *segments*. Adjacent segments with similar normalized
+//! breakdowns — the iterations of one solver loop — are merged into a
+//! single *phase*, leaving a handful of phases that correspond to what a
+//! programmer would call program structure (setup, main loop, teardown).
+
+use std::fmt::Write as _;
+
+use wwt_sim::{Kind, SimReport};
+
+/// Cycles by cost kind, in [`Kind::ALL`] order — the unit everything in
+/// this crate is built from.
+pub type KindVec = [u64; Kind::COUNT];
+
+/// Fraction of the run's total cycles below which a raw segment never
+/// stands alone: it is folded into the phase being built regardless of
+/// its breakdown shape.
+const TINY_SEGMENT_FRACTION: f64 = 0.005;
+
+/// Total-variation distance between normalized breakdowns below which
+/// two adjacent segments are the "same" phase.
+const MERGE_DISTANCE: f64 = 0.10;
+
+/// Serialization format version; bump when the text format changes.
+const PROFILE_VERSION: u32 = 1;
+
+/// Normalizes a kind vector into fractions summing to 1 (all zeros when
+/// the vector is empty).
+pub(crate) fn normalize(v: &KindVec) -> [f64; Kind::COUNT] {
+    let total: u64 = v.iter().sum();
+    let mut out = [0.0; Kind::COUNT];
+    if total > 0 {
+        for (o, &c) in out.iter_mut().zip(v.iter()) {
+            *o = c as f64 / total as f64;
+        }
+    }
+    out
+}
+
+/// Total-variation distance between two normalized breakdowns: half the
+/// L1 distance, in `[0, 1]`.
+pub(crate) fn tv_distance(a: &[f64; Kind::COUNT], b: &[f64; Kind::COUNT]) -> f64 {
+    0.5 * a
+        .iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+}
+
+/// One detected phase: one or more adjacent synchronization segments
+/// whose aggregate breakdowns were similar enough to merge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Phase {
+    /// How many raw synchronization segments merged into this phase.
+    pub segments: usize,
+    /// Cycles by kind inside the phase, one entry per processor.
+    pub per_proc: Vec<KindVec>,
+}
+
+impl Phase {
+    /// Cycles by kind summed over processors.
+    pub fn by_kind(&self) -> KindVec {
+        let mut out = [0u64; Kind::COUNT];
+        for v in &self.per_proc {
+            for (o, &c) in out.iter_mut().zip(v.iter()) {
+                *o += c;
+            }
+        }
+        out
+    }
+
+    /// Total cycles over all processors and kinds.
+    pub fn total(&self) -> u64 {
+        self.per_proc.iter().map(|v| v.iter().sum::<u64>()).sum()
+    }
+
+    /// Normalized aggregate breakdown of the phase.
+    pub fn signature(&self) -> [f64; Kind::COUNT] {
+        normalize(&self.by_kind())
+    }
+
+    fn absorb(&mut self, seg: &[KindVec]) {
+        for (mine, theirs) in self.per_proc.iter_mut().zip(seg.iter()) {
+            for (m, &t) in mine.iter_mut().zip(theirs.iter()) {
+                *m += t;
+            }
+        }
+        self.segments += 1;
+    }
+}
+
+/// The phase-structured profile of one run: what the diff engine
+/// consumes and the run cache persists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunProfile {
+    /// Number of processors in the run.
+    pub nprocs: usize,
+    /// Detected phases, in simulated-time order. Always at least one for
+    /// a run with processors (the tail after the last mark), even when
+    /// phase marks were disabled.
+    pub phases: Vec<Phase>,
+}
+
+impl RunProfile {
+    /// Builds the profile from a finished run.
+    ///
+    /// Works from the per-processor [`phase_log`](wwt_sim::ProcReport)
+    /// plus the final cycle matrices: segment k is the difference
+    /// between consecutive marks, and the tail past the last mark is its
+    /// own segment. Mark counts are truncated to the minimum across
+    /// processors, so a straggler that skipped a collective cannot
+    /// misalign everyone else.
+    pub fn from_report(r: &SimReport) -> RunProfile {
+        let nprocs = r.nprocs();
+        if nprocs == 0 {
+            return RunProfile {
+                nprocs,
+                phases: Vec::new(),
+            };
+        }
+        let marks = r.procs().map(|p| p.phase_log.len()).min().unwrap_or(0);
+
+        // Raw segments: deltas of the cumulative marks, plus the tail.
+        let mut segments: Vec<Vec<KindVec>> = Vec::with_capacity(marks + 1);
+        for s in 0..=marks {
+            let mut per_proc = Vec::with_capacity(nprocs);
+            for p in r.procs() {
+                let prev = if s == 0 {
+                    [0u64; Kind::COUNT]
+                } else {
+                    p.phase_log[s - 1].by_kind
+                };
+                let cur = if s < marks {
+                    p.phase_log[s].by_kind
+                } else {
+                    p.matrix.kind_totals()
+                };
+                let mut d = [0u64; Kind::COUNT];
+                for k in 0..Kind::COUNT {
+                    d[k] = cur[k].saturating_sub(prev[k]);
+                }
+                per_proc.push(d);
+            }
+            segments.push(per_proc);
+        }
+
+        let run_total: u64 = segments
+            .iter()
+            .map(|s| s.iter().map(|v| v.iter().sum::<u64>()).sum::<u64>())
+            .sum();
+        let tiny = TINY_SEGMENT_FRACTION * run_total as f64;
+
+        let mut phases: Vec<Phase> = Vec::new();
+        for seg in &segments {
+            let agg = {
+                let mut out = [0u64; Kind::COUNT];
+                for v in seg {
+                    for (o, &c) in out.iter_mut().zip(v.iter()) {
+                        *o += c;
+                    }
+                }
+                out
+            };
+            let seg_total: u64 = agg.iter().sum();
+            if let Some(cur) = phases.last_mut() {
+                let same_shape = tv_distance(&cur.signature(), &normalize(&agg)) <= MERGE_DISTANCE;
+                if same_shape || (seg_total as f64) < tiny {
+                    cur.absorb(seg);
+                    continue;
+                }
+            }
+            phases.push(Phase {
+                segments: 1,
+                per_proc: seg.clone(),
+            });
+        }
+        RunProfile { nprocs, phases }
+    }
+
+    /// Total cycles over all phases, processors, and kinds. Equals the
+    /// sum of the run's per-processor matrix totals by construction.
+    pub fn total(&self) -> u64 {
+        self.phases.iter().map(|p| p.total()).sum()
+    }
+
+    /// Serializes the profile as a versioned, line-oriented text block
+    /// (the run cache embeds it as a blob).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "wwt-run-profile {PROFILE_VERSION}");
+        let _ = writeln!(out, "nprocs {}", self.nprocs);
+        let _ = writeln!(out, "phases {}", self.phases.len());
+        for p in &self.phases {
+            let _ = writeln!(out, "phase {}", p.segments);
+            for v in &p.per_proc {
+                out.push('p');
+                for c in v {
+                    let _ = write!(out, " {c}");
+                }
+                out.push('\n');
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a [`RunProfile::to_text`] block. Any damage — truncation,
+    /// version skew, malformed numbers — yields `None`, never an error.
+    pub fn from_text(text: &str) -> Option<RunProfile> {
+        let mut lines = text.lines();
+        let version: u32 = lines
+            .next()?
+            .strip_prefix("wwt-run-profile ")?
+            .parse()
+            .ok()?;
+        if version != PROFILE_VERSION {
+            return None;
+        }
+        let nprocs: usize = lines.next()?.strip_prefix("nprocs ")?.parse().ok()?;
+        let nphases: usize = lines.next()?.strip_prefix("phases ")?.parse().ok()?;
+        let mut phases = Vec::with_capacity(nphases);
+        for _ in 0..nphases {
+            let segments: usize = lines.next()?.strip_prefix("phase ")?.parse().ok()?;
+            let mut per_proc = Vec::with_capacity(nprocs);
+            for _ in 0..nprocs {
+                let line = lines.next()?.strip_prefix("p ")?;
+                let mut v = [0u64; Kind::COUNT];
+                let mut it = line.split(' ');
+                for c in v.iter_mut() {
+                    *c = it.next()?.parse().ok()?;
+                }
+                if it.next().is_some() {
+                    return None;
+                }
+                per_proc.push(v);
+            }
+            phases.push(Phase { segments, per_proc });
+        }
+        (lines.next()? == "end").then_some(RunProfile { nprocs, phases })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+    use wwt_sim::{Engine, HwBarrier, ProcId, SimConfig};
+
+    fn marked_run(nprocs: usize, rounds: usize, tail: u64) -> SimReport {
+        let mut e = Engine::new(
+            nprocs,
+            SimConfig {
+                phase_marks: true,
+                ..SimConfig::default()
+            },
+        );
+        let barrier = Rc::new(HwBarrier::new(nprocs, 100));
+        for p in e.proc_ids() {
+            let cpu = e.cpu(p);
+            let barrier = Rc::clone(&barrier);
+            e.spawn(p, async move {
+                for _ in 0..rounds {
+                    cpu.compute(1_000 * (p.index() as u64 + 1));
+                    barrier.wait(&cpu, Kind::BarrierWait).await;
+                }
+                // A tail with a very different breakdown shape.
+                cpu.charge(Kind::Wait, tail);
+            });
+        }
+        e.run()
+    }
+
+    #[test]
+    fn repeated_iterations_merge_into_one_phase() {
+        let r = marked_run(4, 6, 50_000);
+        let prof = RunProfile::from_report(&r);
+        // Six identical compute/barrier rounds merge; the pure-wait tail
+        // is shaped differently and stands alone.
+        assert_eq!(prof.phases.len(), 2, "{prof:?}");
+        assert_eq!(prof.phases[0].segments, 6);
+        assert_eq!(prof.phases[1].segments, 1);
+        assert_eq!(prof.phases[1].by_kind()[Kind::Wait.index()], 4 * 50_000);
+    }
+
+    #[test]
+    fn profile_total_matches_matrix_totals() {
+        let r = marked_run(3, 4, 10_000);
+        let prof = RunProfile::from_report(&r);
+        let matrix_total: u64 = r.procs().map(|p| p.matrix.total()).sum();
+        assert_eq!(prof.total(), matrix_total);
+    }
+
+    #[test]
+    fn unmarked_run_is_a_single_phase() {
+        let mut e = Engine::new(2, SimConfig::default());
+        for p in e.proc_ids() {
+            let cpu = e.cpu(p);
+            e.spawn(p, async move { cpu.compute(123) });
+        }
+        let prof = RunProfile::from_report(&e.run());
+        assert_eq!(prof.phases.len(), 1);
+        assert_eq!(prof.total(), 246);
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let r = marked_run(4, 3, 20_000);
+        let prof = RunProfile::from_report(&r);
+        let text = prof.to_text();
+        assert_eq!(RunProfile::from_text(&text), Some(prof));
+    }
+
+    #[test]
+    fn damaged_text_is_a_miss() {
+        let r = marked_run(2, 2, 5_000);
+        let text = RunProfile::from_report(&r).to_text();
+        assert!(RunProfile::from_text(&text[..text.len() / 2]).is_none());
+        assert!(RunProfile::from_text("wwt-run-profile 999\n").is_none());
+        assert!(RunProfile::from_text("").is_none());
+    }
+
+    #[test]
+    fn marks_align_across_processors() {
+        let r = marked_run(4, 5, 0);
+        let counts: Vec<usize> = r.procs().map(|p| p.phase_log.len()).collect();
+        assert!(counts.iter().all(|&c| c == 5), "{counts:?}");
+        // Barrier releases happen at the same instant on every processor.
+        for s in 0..5 {
+            let at: Vec<u64> = r.procs().map(|p| p.phase_log[s].at).collect();
+            assert!(at.windows(2).all(|w| w[0] == w[1]), "segment {s}: {at:?}");
+        }
+        let _ = ProcId::new(0);
+    }
+}

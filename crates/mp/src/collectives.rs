@@ -180,6 +180,7 @@ impl MpMachine {
             acc = combine(acc, w);
         }
         if v == 0 {
+            cpu.phase_mark();
             Some(acc)
         } else {
             let parent = abs_rank(shape.parent(v, n).expect("non-root has a parent"), root, n);
@@ -198,6 +199,7 @@ impl MpMachine {
                     seq: 0,
                 },
             );
+            cpu.phase_mark();
             None
         }
     }
@@ -253,6 +255,7 @@ impl MpMachine {
                 },
             );
         }
+        cpu.phase_mark();
         w
     }
 
@@ -382,6 +385,7 @@ impl MpMachine {
                     );
                 }
             }
+            cpu.phase_mark();
             bytes
         } else {
             self.poll_loop(cpu, move |m| {
@@ -409,6 +413,7 @@ impl MpMachine {
                 }
             }
             self.touch_write(cpu, buf_off, total as u64);
+            cpu.phase_mark();
             total
         }
     }

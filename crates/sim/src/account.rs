@@ -108,8 +108,11 @@ pub enum Kind {
 }
 
 impl Kind {
+    /// Number of kinds (the length of [`Kind::ALL`]).
+    pub const COUNT: usize = 11;
+
     /// All kinds, in matrix order.
-    pub const ALL: [Kind; 11] = [
+    pub const ALL: [Kind; Kind::COUNT] = [
         Kind::Compute,
         Kind::PrivMiss,
         Kind::ShMissLocal,
@@ -202,6 +205,19 @@ impl CycleMatrix {
     /// Total cycles in a given scope across all kinds.
     pub fn by_scope(&self, scope: Scope) -> Cycles {
         self.cells[scope.index()].iter().sum()
+    }
+
+    /// The per-kind totals across all scopes, as a dense vector in
+    /// [`Kind::ALL`] order — the "breakdown category" view the phase
+    /// profiler and the diff engine consume.
+    pub fn kind_totals(&self) -> [Cycles; Kind::COUNT] {
+        let mut out = [0; Kind::COUNT];
+        for row in &self.cells {
+            for (k, &c) in row.iter().enumerate() {
+                out[k] += c;
+            }
+        }
+        out
     }
 
     /// Adds every cell of `other` into this matrix.
@@ -427,6 +443,18 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.get(Scope::App, Kind::Compute), 3);
         assert_eq!(a.get(Scope::Lock, Kind::LockWait), 3);
+    }
+
+    #[test]
+    fn kind_totals_project_across_scopes() {
+        let mut m = CycleMatrix::new();
+        m.add(Scope::App, Kind::Compute, 10);
+        m.add(Scope::Lib, Kind::Compute, 5);
+        m.add(Scope::Sync, Kind::Wait, 3);
+        let v = m.kind_totals();
+        assert_eq!(v[Kind::Compute.index()], 15);
+        assert_eq!(v[Kind::Wait.index()], 3);
+        assert_eq!(v.iter().sum::<Cycles>(), m.total());
     }
 
     #[test]

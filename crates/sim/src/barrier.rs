@@ -113,6 +113,7 @@ impl HwBarrier {
                 }
                 cpu.wait_until(release, kind);
                 self.trace_release(cpu, arrival);
+                cpu.phase_mark();
                 return;
             }
             let cell = WaitCell::new();
@@ -122,6 +123,7 @@ impl HwBarrier {
         cell.wait_labeled(cpu, kind, "barrier release", crate::WaitTarget::Barrier)
             .await;
         self.trace_release(cpu, arrival);
+        cpu.phase_mark();
     }
 
     fn trace_release(&self, cpu: &Cpu, arrival: Cycles) {

@@ -26,6 +26,7 @@ pub struct Cpu {
     // Cached from the (immutable) engine config: hot path avoidance.
     profile_bucket: Option<Cycles>,
     tracing: bool,
+    phase_marks: bool,
     // The fault plan's slow window, if it targets this processor.
     slow: Option<SlowWindow>,
 }
@@ -47,11 +48,13 @@ impl Cpu {
             .faults
             .and_then(|f| f.slow)
             .filter(|w| w.proc == id.index());
+        let phase_marks = config.phase_marks;
         Cpu {
             sim,
             id,
             profile_bucket: config.profile_bucket,
             tracing,
+            phase_marks,
             slow,
         }
     }
@@ -66,6 +69,24 @@ impl Cpu {
     /// local clock. Callers should guard with [`Cpu::tracing`].
     pub fn trace(&self, what: TraceWhat) {
         self.sim.trace(self.id, self.clock(), what);
+    }
+
+    /// Records a phase-boundary snapshot for this processor: the local
+    /// clock plus the cumulative per-kind cycle totals. Synchronization
+    /// primitives (barriers, collectives) call this at their completion
+    /// point; it is a no-op unless
+    /// [`SimConfig::phase_marks`](crate::SimConfig) is set.
+    pub fn phase_mark(&self) {
+        if !self.phase_marks {
+            return;
+        }
+        self.sim.with_proc(self.id, |p| {
+            let mark = crate::report::PhaseMark {
+                at: p.clock,
+                by_kind: p.matrix.kind_totals(),
+            };
+            p.phase_log.push(mark);
+        });
     }
 
     /// The processor this handle belongs to.

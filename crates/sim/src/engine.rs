@@ -54,6 +54,13 @@ pub struct SimConfig {
     /// simulated cycles while machine events keep flowing, the run aborts
     /// with [`SimError::Livelock`]. `None` (the default) disables it.
     pub watchdog: Option<Cycles>,
+    /// When `true`, record a [`PhaseMark`](crate::PhaseMark) — a cumulative
+    /// per-kind cycle snapshot — on every processor each time it crosses a
+    /// barrier or completes a collective. The marks segment the run into
+    /// phases for the diff engine (`wwt-diff`). `false` (the default)
+    /// records nothing; like tracing, the flag is cached in every [`Cpu`]
+    /// handle, so disabled marking costs one branch per boundary.
+    pub phase_marks: bool,
 }
 
 impl Default for SimConfig {
@@ -66,6 +73,7 @@ impl Default for SimConfig {
             trace: false,
             faults: None,
             watchdog: None,
+            phase_marks: false,
         }
     }
 }
@@ -87,6 +95,7 @@ pub(crate) struct Proc {
     pub(crate) done: bool,
     pub(crate) profile: Vec<CycleMatrix>,
     pub(crate) blocked: Option<BlockInfo>,
+    pub(crate) phase_log: Vec<crate::report::PhaseMark>,
 }
 
 impl Proc {
@@ -99,6 +108,7 @@ impl Proc {
             done: false,
             profile: Vec::new(),
             blocked: None,
+            phase_log: Vec::new(),
         }
     }
 
@@ -483,6 +493,7 @@ impl Engine {
                     matrix: p.matrix.clone(),
                     counters: p.counters.clone(),
                     profile: p.profile.clone(),
+                    phase_log: p.phase_log.clone(),
                 })
                 .collect(),
             inner.events_processed,

@@ -58,7 +58,7 @@ pub use cpu::{Cpu, ScopeGuard};
 pub use engine::{Engine, Sim, SimConfig};
 pub use error::{BlockedProc, SimError, StallReport, WaitTarget};
 pub use fault::{FaultConfig, FaultLog, FaultPlan, PacketFate, ProcWindow, SlowWindow};
-pub use report::{ProcReport, SimReport};
+pub use report::{PhaseMark, ProcReport, SimReport};
 pub use time::{Cycles, ProcId};
 pub use trace::{
     Histogram, Mark, Metric, MetricsRegistry, TraceBuffer, TraceData, TraceEvent, TraceSink,

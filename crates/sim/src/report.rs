@@ -4,6 +4,24 @@ use crate::account::{Counter, Counters, CycleMatrix, Kind, Scope};
 use crate::time::{Cycles, ProcId};
 use crate::trace::TraceData;
 
+/// A cumulative per-kind cycle snapshot taken at a phase boundary
+/// (a barrier crossing or a collective completion).
+///
+/// Recorded per processor when
+/// [`SimConfig::phase_marks`](crate::SimConfig) is set. Marks are
+/// cumulative: the cycles *inside* the k-th segment of a processor's run
+/// are the difference between its k-th and (k-1)-th marks. Every
+/// processor participates in the same sequence of global synchronization
+/// operations in an SPMD program, so the k-th mark on every processor
+/// describes the same program point.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PhaseMark {
+    /// The processor's local clock at the boundary.
+    pub at: Cycles,
+    /// Cumulative cycles by cost kind ([`Kind::ALL`] order).
+    pub by_kind: [Cycles; Kind::COUNT],
+}
+
 /// Per-processor measurements.
 #[derive(Clone, Debug)]
 pub struct ProcReport {
@@ -19,6 +37,9 @@ pub struct ProcReport {
     /// [`SimConfig::profile_bucket`](crate::SimConfig) bucket); empty
     /// unless profiling was enabled.
     pub profile: Vec<CycleMatrix>,
+    /// Phase-boundary snapshots, in crossing order; empty unless
+    /// [`SimConfig::phase_marks`](crate::SimConfig) was enabled.
+    pub phase_log: Vec<PhaseMark>,
 }
 
 /// The full report of a simulation run.
@@ -179,6 +200,7 @@ mod tests {
             matrix: CycleMatrix::new(),
             counters: Counters::new(),
             profile: Vec::new(),
+            phase_log: Vec::new(),
         };
         p0.matrix.add(Scope::App, Kind::Compute, 80);
         p0.counters.add(Counter::PacketsSent, 4);
@@ -188,6 +210,7 @@ mod tests {
             matrix: CycleMatrix::new(),
             counters: Counters::new(),
             profile: Vec::new(),
+            phase_log: Vec::new(),
         };
         p1.matrix.add(Scope::App, Kind::Compute, 120);
         p1.counters.add(Counter::PacketsSent, 8);

@@ -290,6 +290,41 @@ impl Histogram {
         }
     }
 
+    /// The `q`-th percentile (`0.0..=1.0`), estimated by linear
+    /// interpolation within the log2 bucket the target rank lands in and
+    /// clamped to the observed `[min, max]`. Exact when a bucket holds a
+    /// single distinct value; 0.0 when the histogram is empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based: q of the way through the
+        // ordered samples (nearest-rank with interpolation inside the
+        // bucket's value range).
+        let rank = q * (self.count as f64 - 1.0) + 1.0;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo_rank = seen as f64 + 1.0;
+            let hi_rank = (seen + c) as f64;
+            if rank <= hi_rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let frac = if c > 1 {
+                    ((rank - lo_rank) / (hi_rank - lo_rank)).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                let v = lo as f64 + frac * (hi.saturating_sub(1).saturating_sub(lo)) as f64;
+                return v.clamp(self.min as f64, self.max as f64);
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
+
     /// The raw bucket counts.
     pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
         &self.buckets
@@ -450,6 +485,45 @@ mod tests {
         // 10 -> bucket 4 [8,16), 20 and 30 -> bucket 5 [16,32).
         let got: Vec<_> = h.nonempty_buckets().collect();
         assert_eq!(got, vec![(8, 16, 1), (16, 32, 2)]);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets_and_clamp_to_observed() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0.0);
+
+        // A single sample answers every percentile with itself.
+        let mut h = Histogram::new();
+        h.record(100);
+        assert_eq!(h.percentile(0.0), 100.0);
+        assert_eq!(h.percentile(0.5), 100.0);
+        assert_eq!(h.percentile(1.0), 100.0);
+
+        // Uniform 1..=100: percentile estimates stay within one bucket
+        // width of the exact order statistic and are monotone.
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50);
+        let p90 = h.percentile(0.90);
+        let p99 = h.percentile(0.99);
+        assert!((32.0..=64.0).contains(&p50), "p50={p50}");
+        assert!((64.0..=100.0).contains(&p90), "p90={p90}");
+        assert!(p99 >= p90 && p90 >= p50, "p50={p50} p90={p90} p99={p99}");
+        assert!(p99 <= 100.0, "p99={p99} exceeds observed max");
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(1.0), 100.0);
+
+        // A heavy outlier moves the tail but not the median.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        let p50 = h.percentile(0.50);
+        assert!(p50 < 16.0, "median stays in the outlier-free bucket: {p50}");
+        assert!(h.percentile(0.999) > 16.0);
     }
 
     #[test]

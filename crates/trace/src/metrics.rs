@@ -8,7 +8,9 @@ use crate::json::num_f64;
 
 /// Exports all histograms of `reg` as JSON. Every metric appears (even
 /// empty ones, with `count` 0); bucket lists include only non-empty
-/// buckets, as `[lo, hi, count]` triples over half-open ranges.
+/// buckets, as `[lo, hi, count]` triples over half-open ranges. `p50`,
+/// `p90` and `p99` are percentile estimates interpolated within the
+/// log2 bucket the rank falls in ([`wwt_sim::Histogram::percentile`]).
 pub fn metrics_json(reg: &MetricsRegistry) -> String {
     let mut out = String::new();
     out.push_str("{\"metrics\":[\n");
@@ -20,13 +22,16 @@ pub fn metrics_json(reg: &MetricsRegistry) -> String {
         let _ = write!(
             out,
             "{{\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
-             \"buckets\":[",
+             \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
             m.label(),
             h.count(),
             h.sum(),
             h.min(),
             h.max(),
             num_f64(h.mean()),
+            num_f64(h.percentile(0.50)),
+            num_f64(h.percentile(0.90)),
+            num_f64(h.percentile(0.99)),
         );
         for (j, (lo, hi, c)) in h.nonempty_buckets().enumerate() {
             if j > 0 {
@@ -50,12 +55,15 @@ pub fn metrics_table(reg: &MetricsRegistry) -> String {
         any = true;
         let _ = writeln!(
             out,
-            "\n  {}: count={} mean={:.1} min={} max={}",
+            "\n  {}: count={} mean={:.1} min={} max={} p50={:.0} p90={:.0} p99={:.0}",
             m.label(),
             h.count(),
             h.mean(),
             h.min(),
-            h.max()
+            h.max(),
+            h.percentile(0.50),
+            h.percentile(0.90),
+            h.percentile(0.99),
         );
         let peak = h.nonempty_buckets().map(|(_, _, c)| c).max().unwrap_or(1);
         for (lo, hi, c) in h.nonempty_buckets() {
@@ -85,6 +93,30 @@ mod tests {
         // 100 and 120 both land in [64, 128).
         assert!(s.contains("\"buckets\":[[64,128,2]]"));
         assert!(s.contains("\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"mean\":0.0"));
+        // Empty metrics report zero percentiles too.
+        assert!(s.contains("\"p50\":0.0,\"p90\":0.0,\"p99\":0.0"), "{s}");
+    }
+
+    #[test]
+    fn json_and_table_carry_percentiles() {
+        let mut reg = MetricsRegistry::new();
+        for v in 1..=100u64 {
+            reg.record(Metric::MsgLatency, v);
+        }
+        let s = metrics_json(&reg);
+        let h = reg.get(Metric::MsgLatency);
+        let expect = format!(
+            "\"p50\":{},\"p90\":{},\"p99\":{}",
+            num_f64(h.percentile(0.50)),
+            num_f64(h.percentile(0.90)),
+            num_f64(h.percentile(0.99)),
+        );
+        assert!(s.contains(&expect), "{s}");
+        let t = metrics_table(&reg);
+        assert!(
+            t.contains("p50=") && t.contains("p90=") && t.contains("p99="),
+            "{t}"
+        );
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! End-to-end contracts of the performance differ: a run diffed against
+//! itself is empty, a known hardware change produces a non-empty diff
+//! that attributes the whole delta, and diff output is byte-identical
+//! for any job count and for cache replays.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use wwt::diff::{diff_profiles, render_diff, RunProfile};
+use wwt::{run_grid, Experiment, RunnerConfig, Scale};
+
+/// Tests in this binary share the process-wide simulation counter, so
+/// every test that runs the grid serializes on this lock.
+static GRID: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GRID.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn scratch_cache(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wwt-diff-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn profile_of(e: Experiment, cfg: &RunnerConfig) -> RunProfile {
+    let arts = run_grid(&[e], cfg);
+    arts[0]
+        .phases
+        .clone()
+        .expect("phases requested but missing")
+}
+
+fn phased(scale: Scale) -> RunnerConfig {
+    RunnerConfig {
+        phases: true,
+        ..RunnerConfig::new(scale)
+    }
+}
+
+#[test]
+fn self_diff_renders_empty() {
+    let _g = lock();
+    let cfg = phased(Scale::Test);
+    let a = profile_of(Experiment::Em3dMp, &cfg);
+    let d = diff_profiles(&a, &a);
+    assert_eq!(d.delta(), 0);
+    assert!(d.entries.is_empty(), "{:?}", d.entries);
+    assert_eq!(render_diff(&d, &a, &a), "", "self-diff must render empty");
+}
+
+#[test]
+fn known_hardware_change_is_attributed_in_full() {
+    let _g = lock();
+    let cfg = phased(Scale::Test);
+    let a = profile_of(Experiment::Em3dMp, &cfg);
+    let mut slow = cfg.clone();
+    slow.arch.set("net_latency", "400").unwrap();
+    let b = profile_of(Experiment::Em3dMp, &slow);
+
+    let d = diff_profiles(&a, &b);
+    assert_ne!(d.delta(), 0, "4x network latency must move em3d-mp's total");
+    // Exact attribution: the entries decompose the delta with no
+    // residue, so coverage is 100% (>= the 95% the differ promises).
+    let sum: i64 = d.entries.iter().map(|e| e.delta).sum();
+    assert_eq!(sum, d.delta());
+
+    let text = render_diff(&d, &a, &b);
+    assert!(!text.is_empty());
+    assert!(text.contains("total:"), "{text}");
+    // A slower network surfaces as communication-side time, not compute.
+    let comm = ["send", "recv", "wait", "barrier", "poll", "retry"];
+    assert!(
+        comm.iter().any(|k| text.contains(k)),
+        "expected a communication category in:\n{text}"
+    );
+}
+
+#[test]
+fn diff_text_is_identical_for_any_job_count_and_for_cache_replays() {
+    let _g = lock();
+    let dir = scratch_cache("jobs");
+    let run = |jobs: usize| {
+        let cfg = RunnerConfig {
+            jobs,
+            cache_dir: Some(dir.clone()),
+            ..phased(Scale::Test)
+        };
+        let a = profile_of(Experiment::Em3dMp, &cfg);
+        let mut slow = cfg.clone();
+        slow.arch.set("net_latency", "400").unwrap();
+        let b = profile_of(Experiment::Em3dMp, &slow);
+        let d = diff_profiles(&a, &b);
+        (render_diff(&d, &a, &b), a, b)
+    };
+    // jobs=1 simulates and fills the cache; the later calls replay it.
+    let (t1, a1, b1) = run(1);
+    let (t2, ..) = run(2);
+    let (t4, ..) = run(4);
+    assert!(!t1.is_empty());
+    assert_eq!(t1, t2, "diff text must not depend on worker count");
+    assert_eq!(t2, t4);
+
+    // A cache replay yields the same profiles as the fresh run.
+    let cfg = RunnerConfig {
+        cache_dir: Some(dir.clone()),
+        ..phased(Scale::Test)
+    };
+    let replayed = run_grid(&[Experiment::Em3dMp], &cfg);
+    assert!(replayed[0].from_cache, "second run must hit the cache");
+    assert_eq!(replayed[0].phases.as_ref(), Some(&a1));
+    drop(b1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profiles_round_trip_through_the_cache_text_form() {
+    let _g = lock();
+    let cfg = phased(Scale::Test);
+    for e in [Experiment::Em3dMp, Experiment::Em3dSm] {
+        let p = profile_of(e, &cfg);
+        let text = p.to_text();
+        let back = RunProfile::from_text(&text).expect("parse own serialization");
+        assert_eq!(p, back, "{e:?} profile must round-trip");
+        assert!(p.total() > 0, "{e:?} profile carries cycles");
+    }
+}
+
+#[test]
+fn entries_always_decompose_the_delta_exactly() {
+    let _g = lock();
+    let cfg = phased(Scale::Test);
+    let pairs = [
+        (Experiment::Em3dMp, Experiment::Em3dSm),
+        (Experiment::GaussMp, Experiment::GaussSm),
+    ];
+    for (ea, eb) in pairs {
+        let a = profile_of(ea, &cfg);
+        let b = profile_of(eb, &cfg);
+        let d = diff_profiles(&a, &b);
+        let sum: i64 = d.entries.iter().map(|e| e.delta).sum();
+        assert_eq!(
+            sum,
+            d.delta(),
+            "{ea:?} vs {eb:?}: entries must sum to the total delta"
+        );
+        // Cross-machine runs genuinely differ.
+        assert!(!d.entries.is_empty());
+        assert!(!render_diff(&d, &a, &b).is_empty());
+    }
+}
