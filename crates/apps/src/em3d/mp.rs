@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use wwt_mp::{ChannelId, MpConfig, MpMachine, SendChannel};
-use wwt_sim::{Engine, ProcId};
+use wwt_sim::{Engine, ProcId, SimError};
 
 use crate::common::{AppRun, PhaseRecorder};
 use crate::em3d::{gen_graph, reference, validate_values, Em3dGraph, Em3dParams, Side};
@@ -92,6 +92,14 @@ const INFO_BYTES: u64 = 16; // (sink idx, side, weight) record
 /// Runs EM3D-MP and returns the measurements (Tables 12 and 13), with
 /// "init" and "main" phase snapshots.
 pub fn run(p: &Em3dParams, mcfg: MpConfig) -> AppRun {
+    try_run(p, mcfg).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Fallible variant of [`run`]: surfaces an engine failure (deadlock,
+/// livelock, watchdog) as a structured [`SimError`] instead of
+/// panicking, so a grid run can report the failing experiment and let
+/// the others finish.
+pub fn try_run(p: &Em3dParams, mcfg: MpConfig) -> Result<AppRun, SimError> {
     let mut engine = Engine::new(p.procs, mcfg.sim);
     let m = MpMachine::new(&engine, mcfg);
     let rec = PhaseRecorder::new(Rc::clone(engine.sim()));
@@ -340,7 +348,7 @@ pub fn run(p: &Em3dParams, mcfg: MpConfig) -> AppRun {
         });
     }
 
-    let report = engine.run();
+    let report = engine.try_run()?;
 
     // Collect final values for validation from the recorded offsets.
     let mut got_e = Vec::new();
@@ -356,13 +364,13 @@ pub fn run(p: &Em3dParams, mcfg: MpConfig) -> AppRun {
     }
     let refv = reference(p, &g);
     let validation = validate_values(&refv, &got_e, &got_h);
-    AppRun {
+    Ok(AppRun {
         report,
         phases: rec.phases(),
         validation,
         stats: vec![("iters".into(), p.iters as f64)],
         artifact: got_e.into_iter().flatten().collect(),
-    }
+    })
 }
 
 /// One half-step over `sinks` (in-edge lists of the side being updated):

@@ -15,7 +15,7 @@
 use std::rc::Rc;
 
 use wwt_mem::GAddr;
-use wwt_sim::Engine;
+use wwt_sim::{Engine, SimError};
 use wwt_sm::{McsLock, SmConfig, SmMachine};
 
 use crate::common::{AppRun, PhaseRecorder};
@@ -116,11 +116,22 @@ struct Arrays {
 /// and 17 via the cache/allocation fields of [`SmConfig`]), with "init"
 /// and "main" phase snapshots.
 pub fn run(p: &Em3dParams, scfg: SmConfig) -> AppRun {
+    try_run(p, scfg).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Fallible variant of [`run`]: surfaces an engine failure (deadlock,
+/// livelock, watchdog) as a structured [`SimError`] instead of
+/// panicking, so a grid run can report the failing experiment and let
+/// the others finish.
+pub fn try_run(p: &Em3dParams, scfg: SmConfig) -> Result<AppRun, SimError> {
     let mut engine = Engine::new(p.procs, scfg.sim);
     let m = SmMachine::new(&engine, scfg);
     let rec = PhaseRecorder::new(Rc::clone(engine.sim()));
     let g = Rc::new(gen_graph(p));
     let layout = Rc::new(build_layout(p, &g));
+    // Built once and shared: every processor task reads only its own row,
+    // and rebuilding the full lists per task is quadratic in machine size.
+    let ins = Rc::new(build_in_edges(p, &g));
 
     // Allocate every processor's arrays up front (allocation-policy aware:
     // `gmalloc(q, ..)` homes on q only under the Local policy).
@@ -150,6 +161,7 @@ pub fn run(p: &Em3dParams, scfg: SmConfig) -> AppRun {
         let rec = Rc::clone(&rec);
         let g = Rc::clone(&g);
         let layout = Rc::clone(&layout);
+        let ins = Rc::clone(&ins);
         let arrays = Rc::clone(&arrays);
         let locks = Rc::clone(&locks);
         let p = p.clone();
@@ -252,7 +264,7 @@ pub fn run(p: &Em3dParams, scfg: SmConfig) -> AppRun {
             }
 
             // --- main loop --------------------------------------------------
-            let (in_e, in_h) = build_in_edges(&p, &g);
+            let (in_e, in_h) = (&ins.0, &ins.1);
             let my_in_e: Vec<usize> = in_e[me].iter().map(Vec::len).collect();
             let my_in_h: Vec<usize> = in_h[me].iter().map(Vec::len).collect();
             // Unique remote source blocks per half (for flush/prefetch
@@ -312,7 +324,7 @@ pub fn run(p: &Em3dParams, scfg: SmConfig) -> AppRun {
         });
     }
 
-    let report = engine.run();
+    let report = engine.try_run()?;
     let mut got_e = Vec::new();
     let mut got_h = Vec::new();
     for q in 0..p.procs {
@@ -325,13 +337,13 @@ pub fn run(p: &Em3dParams, scfg: SmConfig) -> AppRun {
     }
     let refv = reference(p, &g);
     let validation = validate_values(&refv, &got_e, &got_h);
-    AppRun {
+    Ok(AppRun {
         report,
         phases: rec.phases(),
         validation,
         stats: vec![("iters".into(), p.iters as f64)],
         artifact: got_e.into_iter().flatten().collect(),
-    }
+    })
 }
 
 /// One half-step: stream the in-edge arrays, read each source value in

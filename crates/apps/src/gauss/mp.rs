@@ -10,7 +10,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use wwt_mp::{MpConfig, MpMachine, TreeShape};
-use wwt_sim::{Engine, ProcId};
+use wwt_sim::{Engine, ProcId, SimError};
 
 use crate::common::{block_range, AppRun, PhaseRecorder, Validation};
 use crate::gauss::{gen_row, validate_solution, GaussParams};
@@ -29,6 +29,14 @@ pub(crate) fn dec_pivot(enc: usize) -> (usize, usize) {
 /// paper for the lop-sided tree; the other shapes reproduce the Section
 /// 5.2 collective ablation).
 pub fn run(p: &GaussParams, mcfg: MpConfig, shape: TreeShape) -> AppRun {
+    try_run(p, mcfg, shape).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Fallible variant of [`run`]: surfaces an engine failure (deadlock,
+/// livelock, watchdog) as a structured [`SimError`] instead of
+/// panicking, so a grid run can report the failing experiment and let
+/// the others finish.
+pub fn try_run(p: &GaussParams, mcfg: MpConfig, shape: TreeShape) -> Result<AppRun, SimError> {
     let mut engine = Engine::new(p.procs, mcfg.sim);
     let m = MpMachine::new(&engine, mcfg);
     let rec = PhaseRecorder::new(Rc::clone(engine.sim()));
@@ -188,20 +196,20 @@ pub fn run(p: &GaussParams, mcfg: MpConfig, shape: TreeShape) -> AppRun {
         });
     }
 
-    let report = engine.run();
+    let report = engine.try_run()?;
     let x = solution.borrow().clone();
     let validation = if x.len() == n {
         validate_solution(&x)
     } else {
         Validation::fail("no solution produced")
     };
-    AppRun {
+    Ok(AppRun {
         report,
         phases: rec.phases(),
         validation,
         stats: vec![("n".into(), n as f64)],
         artifact: x,
-    }
+    })
 }
 
 #[cfg(test)]

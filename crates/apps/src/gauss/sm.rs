@@ -10,7 +10,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use wwt_sim::Engine;
+use wwt_sim::{Engine, SimError};
 use wwt_sm::{SmCollectives, SmConfig, SmMachine};
 
 use crate::common::{block_range, AppRun, PhaseRecorder, Validation};
@@ -19,6 +19,14 @@ use crate::gauss::{gen_row, validate_solution, GaussParams};
 
 /// Runs Gauss-SM and returns the measurements (Tables 9 and 11).
 pub fn run(p: &GaussParams, scfg: SmConfig) -> AppRun {
+    try_run(p, scfg).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Fallible variant of [`run`]: surfaces an engine failure (deadlock,
+/// livelock, watchdog) as a structured [`SimError`] instead of
+/// panicking, so a grid run can report the failing experiment and let
+/// the others finish.
+pub fn try_run(p: &GaussParams, scfg: SmConfig) -> Result<AppRun, SimError> {
     let mut engine = Engine::new(p.procs, scfg.sim);
     let m = SmMachine::new(&engine, scfg);
     let coll = Rc::new(SmCollectives::new(&m));
@@ -172,20 +180,20 @@ pub fn run(p: &GaussParams, scfg: SmConfig) -> AppRun {
         });
     }
 
-    let report = engine.run();
+    let report = engine.try_run()?;
     let x = solution.borrow().clone();
     let validation = if x.len() == n {
         validate_solution(&x)
     } else {
         Validation::fail("no solution produced")
     };
-    AppRun {
+    Ok(AppRun {
         report,
         phases: rec.phases(),
         validation,
         stats: vec![("n".into(), n as f64)],
         artifact: x,
-    }
+    })
 }
 
 #[cfg(test)]

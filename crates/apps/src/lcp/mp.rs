@@ -12,7 +12,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use wwt_mp::{ChannelId, MpConfig, MpMachine, SendChannel, TreeShape};
-use wwt_sim::{Engine, ProcId};
+use wwt_sim::{Engine, ProcId, SimError};
 
 use crate::common::{AppRun, PhaseRecorder, Validation};
 use crate::lcp::{gen_matrix, gen_q, psor_row, validate_lcp, LcpMode, LcpParams};
@@ -20,6 +20,14 @@ use crate::lcp::{gen_matrix, gen_q, psor_row, validate_lcp, LcpMode, LcpParams};
 /// Runs LCP-MP (synchronous) or ALCP-MP (asynchronous) and returns the
 /// measurements (Tables 18, 20, and 22).
 pub fn run(p: &LcpParams, mcfg: MpConfig, mode: LcpMode) -> AppRun {
+    try_run(p, mcfg, mode).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Fallible variant of [`run`]: surfaces an engine failure (deadlock,
+/// livelock, watchdog) as a structured [`SimError`] instead of
+/// panicking, so a grid run can report the failing experiment and let
+/// the others finish.
+pub fn try_run(p: &LcpParams, mcfg: MpConfig, mode: LcpMode) -> Result<AppRun, SimError> {
     assert!(
         p.procs.is_power_of_two(),
         "exchange needs a power-of-two machine"
@@ -208,7 +216,7 @@ pub fn run(p: &LcpParams, mcfg: MpConfig, mode: LcpMode) -> AppRun {
         });
     }
 
-    let report = engine.run();
+    let report = engine.try_run()?;
     let z = solution.borrow().clone();
     let qv = gen_q(p);
     let validation = if steps_taken.get() < p.max_steps {
@@ -216,13 +224,13 @@ pub fn run(p: &LcpParams, mcfg: MpConfig, mode: LcpMode) -> AppRun {
     } else {
         Validation::fail(format!("no convergence within {} steps", p.max_steps))
     };
-    AppRun {
+    Ok(AppRun {
         report,
         phases: rec.phases(),
         validation,
         stats: vec![("steps".into(), steps_taken.get() as f64)],
         artifact: z,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use wwt_mem::GAddr;
-use wwt_sim::Engine;
+use wwt_sim::{Engine, SimError};
 use wwt_sm::{SmCollectives, SmConfig, SmMachine};
 
 use crate::common::{AppRun, PhaseRecorder, Validation};
@@ -22,6 +22,14 @@ use crate::lcp::{gen_matrix, gen_q, psor_row, validate_lcp, LcpMode, LcpParams};
 /// Runs LCP-SM (synchronous) or ALCP-SM (asynchronous) and returns the
 /// measurements (Tables 19, 21, and 23).
 pub fn run(p: &LcpParams, scfg: SmConfig, mode: LcpMode) -> AppRun {
+    try_run(p, scfg, mode).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Fallible variant of [`run`]: surfaces an engine failure (deadlock,
+/// livelock, watchdog) as a structured [`SimError`] instead of
+/// panicking, so a grid run can report the failing experiment and let
+/// the others finish.
+pub fn try_run(p: &LcpParams, scfg: SmConfig, mode: LcpMode) -> Result<AppRun, SimError> {
     assert_eq!(p.n % p.procs, 0, "rows must divide evenly");
     let mut engine = Engine::new(p.procs, scfg.sim);
     let m = SmMachine::new(&engine, scfg);
@@ -173,7 +181,7 @@ pub fn run(p: &LcpParams, scfg: SmConfig, mode: LcpMode) -> AppRun {
         });
     }
 
-    let report = engine.run();
+    let report = engine.try_run()?;
     let z = solution.borrow().clone();
     let qv = gen_q(p);
     let validation = if steps_taken.get() < p.max_steps {
@@ -181,13 +189,13 @@ pub fn run(p: &LcpParams, scfg: SmConfig, mode: LcpMode) -> AppRun {
     } else {
         Validation::fail(format!("no convergence within {} steps", p.max_steps))
     };
-    AppRun {
+    Ok(AppRun {
         report,
         phases: rec.phases(),
         validation,
         stats: vec![("steps".into(), steps_taken.get() as f64)],
         artifact: z,
-    }
+    })
 }
 
 #[cfg(test)]

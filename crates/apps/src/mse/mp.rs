@@ -12,7 +12,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use wwt_mp::{packet::tag, ChannelId, MpConfig, MpMachine, SendChannel};
-use wwt_sim::{Engine, ProcId};
+use wwt_sim::{Engine, ProcId, SimError};
 
 use crate::common::{AppRun, PhaseRecorder};
 use crate::mse::{build_system, validate_solution, MseParams};
@@ -40,6 +40,14 @@ struct NodeSvc {
 
 /// Runs MSE-MP and returns the measurements (Tables 4 and 6).
 pub fn run(p: &MseParams, mcfg: MpConfig) -> AppRun {
+    try_run(p, mcfg).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Fallible variant of [`run`]: surfaces an engine failure (deadlock,
+/// livelock, watchdog) as a structured [`SimError`] instead of
+/// panicking, so a grid run can report the failing experiment and let
+/// the others finish.
+pub fn try_run(p: &MseParams, mcfg: MpConfig) -> Result<AppRun, SimError> {
     assert_eq!(p.grid * p.grid, p.bodies, "bodies must fill the grid");
     assert_eq!(p.bodies % p.procs, 0, "bodies must divide evenly");
     let mut engine = Engine::new(p.procs, mcfg.sim);
@@ -241,16 +249,16 @@ pub fn run(p: &MseParams, mcfg: MpConfig) -> AppRun {
         });
     }
 
-    let report = engine.run();
+    let report = engine.try_run()?;
     let z = solution.borrow().clone();
     let validation = validate_solution(p, &z);
-    AppRun {
+    Ok(AppRun {
         report,
         phases: rec.phases(),
         validation,
         stats: vec![("iters".into(), p.iters as f64)],
         artifact: z,
-    }
+    })
 }
 
 #[cfg(test)]

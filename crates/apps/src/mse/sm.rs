@@ -12,7 +12,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use wwt_mem::GAddr;
-use wwt_sim::Engine;
+use wwt_sim::{Engine, SimError};
 use wwt_sm::{CreateGate, SmConfig, SmMachine};
 
 use crate::common::{AppRun, PhaseRecorder};
@@ -20,6 +20,14 @@ use crate::mse::{build_system, validate_solution, MseParams};
 
 /// Runs MSE-SM and returns the measurements (Tables 5 and 7).
 pub fn run(p: &MseParams, scfg: SmConfig) -> AppRun {
+    try_run(p, scfg).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Fallible variant of [`run`]: surfaces an engine failure (deadlock,
+/// livelock, watchdog) as a structured [`SimError`] instead of
+/// panicking, so a grid run can report the failing experiment and let
+/// the others finish.
+pub fn try_run(p: &MseParams, scfg: SmConfig) -> Result<AppRun, SimError> {
     assert_eq!(p.grid * p.grid, p.bodies, "bodies must fill the grid");
     assert_eq!(p.bodies % p.procs, 0, "bodies must divide evenly");
     let mut engine = Engine::new(p.procs, scfg.sim);
@@ -156,16 +164,16 @@ pub fn run(p: &MseParams, scfg: SmConfig) -> AppRun {
         });
     }
 
-    let report = engine.run();
+    let report = engine.try_run()?;
     let z = solution.borrow().clone();
     let validation = validate_solution(p, &z);
-    AppRun {
+    Ok(AppRun {
         report,
         phases: rec.phases(),
         validation,
         stats: vec![("iters".into(), p.iters as f64)],
         artifact: z,
-    }
+    })
 }
 
 #[cfg(test)]

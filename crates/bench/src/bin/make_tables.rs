@@ -3,11 +3,11 @@
 //! Usage:
 //!
 //! ```text
-//! make_tables [--test-scale] [--jobs N] [--no-cache] [--timeline]
-//!             [--trace OUT.json] [--metrics OUT.json] [--json OUT.json]
-//!             [--faults SPEC] [--arch SPEC] [--arch-sweep KEY=V1,V2,...]
-//!             [--sweep-delta] [--diff A B] [--diff-json OUT.json]
-//!             [experiment-id ...]
+//! make_tables [--test-scale] [--jobs N] [--sim-threads N] [--no-cache]
+//!             [--timeline] [--trace OUT.json] [--metrics OUT.json]
+//!             [--json OUT.json] [--faults SPEC] [--arch SPEC]
+//!             [--arch-sweep KEY=V1,V2,...] [--sweep-delta] [--diff A B]
+//!             [--diff-json OUT.json] [experiment-id ...]
 //! ```
 //!
 //! With no experiment ids, every experiment runs. An id is either an
@@ -20,11 +20,13 @@
 //! run.
 //!
 //! `--jobs N` fans the grid out over N worker threads (default: all
-//! available cores). The simulator is deterministic and results are
-//! reassembled in selection order, so stdout is byte-identical for any
-//! job count. Per-experiment wall-clock timings go to **stderr** and to
-//! `results/BENCH_grid.json` (appended per invocation) so the report text
-//! stays deterministic.
+//! available cores). `--sim-threads N` shards each simulation's event
+//! scheduler into N quantum-synchronized per-processor queues (default 1;
+//! it composes with `--jobs`). The simulator is deterministic and results
+//! are reassembled in selection order, so stdout is byte-identical for
+//! any job count **and any `--sim-threads` value**. Per-experiment
+//! wall-clock timings go to **stderr** and to `results/BENCH_grid.json`
+//! (appended per invocation) so the report text stays deterministic.
 //!
 //! Runs are cached under `results/cache/`, keyed by (experiment, scale,
 //! engine-config hash): a repeated invocation with unchanged inputs
@@ -76,14 +78,13 @@
 //! histograms as JSON the same way and prints them as ASCII tables;
 //! `--json` writes the result tables and run summary as JSON.
 
-use std::fmt::Write as _;
 use std::path::PathBuf;
 
+use wwt_bench::bench_log;
 use wwt_bench::select_experiments;
 use wwt_core::arch::{sweep_points, ArchParams, ArchSweep, KEYS, PRESETS};
 use wwt_core::{
-    render_report, render_sweep_report, run_grid, run_sweep, Experiment, ExperimentArtifacts,
-    RunnerConfig, Scale,
+    render_report, render_sweep_report, run_grid, run_sweep, Experiment, RunnerConfig, Scale,
 };
 
 /// Inserts `-{id}` before the final path component's extension:
@@ -107,7 +108,7 @@ fn with_id(path: &str, id: &str) -> String {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: make_tables [--test-scale] [--jobs N] [--no-cache] [--timeline] \
+        "usage: make_tables [--test-scale] [--jobs N] [--sim-threads N] [--no-cache] [--timeline] \
          [--trace OUT.json] [--metrics OUT.json] [--json OUT.json] \
          [--faults seed=S,drop=P,dup=P,reorder=P,jitter=CYCLES,\
          fail=PROC@FROM..UNTIL,slow=PROC@FROM..UNTILxFACTOR] \
@@ -138,116 +139,6 @@ fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-}
-
-/// Compaction: keep only the latest this-many records per
-/// (scale, jobs, cache, experiment-set) key, so `BENCH_grid.json` stays
-/// bounded no matter how many invocations accumulate.
-const BENCH_KEEP_PER_KEY: usize = 8;
-
-/// The compaction key of one record line. Extracted textually (records
-/// are single-line JSON we wrote ourselves); records from older schemas
-/// simply yield empty fields and compact amongst themselves.
-fn bench_key(rec: &str) -> String {
-    let field = |name: &str| -> String {
-        rec.split(&format!("\"{name}\":"))
-            .nth(1)
-            .map(|r| r.chars().take_while(|c| !",}".contains(*c)).collect())
-            .unwrap_or_default()
-    };
-    let ids: Vec<&str> = rec
-        .split("\"id\":\"")
-        .skip(1)
-        .filter_map(|r| r.split('"').next())
-        .collect();
-    format!(
-        "{}|{}|{}|{}",
-        field("scale"),
-        field("jobs"),
-        field("cache"),
-        ids.join(",")
-    )
-}
-
-/// One invocation's timing record, appended to `results/BENCH_grid.json`
-/// (`{"runs":[...]}`) so successive runs — e.g. `--jobs 1` vs `--jobs 4`
-/// — can be compared. Each append compacts the file to the latest
-/// [`BENCH_KEEP_PER_KEY`] records per (scale, jobs, cache,
-/// experiment-set) key; an unreadable or foreign file starts over with
-/// just the new record.
-fn append_bench_record(path: &str, record: &str) -> std::io::Result<()> {
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let mut records: Vec<String> = std::fs::read_to_string(path)
-        .ok()
-        .and_then(|s| {
-            let body = s
-                .trim_end()
-                .strip_prefix("{\"runs\":[")?
-                .strip_suffix("]}")?
-                .to_string();
-            Some(
-                body.split(",\n")
-                    .map(str::trim)
-                    .filter(|l| !l.is_empty())
-                    .map(str::to_string)
-                    .collect(),
-            )
-        })
-        .unwrap_or_default();
-    records.push(record.to_string());
-    let keys: Vec<String> = records.iter().map(|r| bench_key(r)).collect();
-    let mut keep = vec![false; records.len()];
-    let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
-    for i in (0..records.len()).rev() {
-        let c = counts.entry(keys[i].as_str()).or_insert(0);
-        if *c < BENCH_KEEP_PER_KEY {
-            keep[i] = true;
-            *c += 1;
-        }
-    }
-    let kept: Vec<&str> = records
-        .iter()
-        .zip(&keep)
-        .filter(|(_, &k)| k)
-        .map(|(r, _)| r.as_str())
-        .collect();
-    std::fs::write(path, format!("{{\"runs\":[\n{}]}}\n", kept.join(",\n")))
-}
-
-fn bench_record(
-    scale: Scale,
-    jobs: usize,
-    cache: bool,
-    arch: &ArchParams,
-    faults_spec: Option<&str>,
-    total_secs: f64,
-    artifacts: &[ExperimentArtifacts],
-) -> String {
-    let faults = match faults_spec {
-        Some(f) => format!("\"{f}\""),
-        None => "null".to_string(),
-    };
-    let mut rec = format!(
-        "{{\"schema\":2,\"scale\":\"{}\",\"jobs\":{jobs},\"cache\":{cache},\"arch_hash\":\"{:016x}\",\"faults\":{faults},\"total_wall_secs\":{total_secs:.6},\"experiments\":[",
-        scale.name(),
-        arch.stable_hash()
-    );
-    for (i, a) in artifacts.iter().enumerate() {
-        if i > 0 {
-            rec.push(',');
-        }
-        let _ = write!(
-            rec,
-            "{{\"id\":\"{}\",\"wall_secs\":{:.6},\"cached\":{}}}",
-            a.experiment.id(),
-            a.wall_secs,
-            a.from_cache
-        );
-    }
-    rec.push_str("]}");
-    rec
 }
 
 /// Resolves one `--diff` side into a labeled run profile.
@@ -308,6 +199,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
     let mut jobs = default_jobs();
+    let mut sim_threads = 1usize;
     let mut use_cache = true;
     let mut timeline = false;
     let mut trace_out: Option<String> = None;
@@ -327,6 +219,13 @@ fn main() {
             "--test-scale" => scale = Scale::Test,
             "--jobs" => {
                 jobs = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--sim-threads" => {
+                sim_threads = it
                     .next()
                     .and_then(|n| n.parse().ok())
                     .filter(|&n| n >= 1)
@@ -402,6 +301,7 @@ fn main() {
         faults,
         arch,
         phases: false,
+        sim_threads,
     };
 
     if let Some((spec_a, spec_b)) = diff {
@@ -513,10 +413,11 @@ fn main() {
     if tracing_requested {
         for a in &artifacts {
             let e = a.experiment;
-            let tr = a
-                .trace
-                .as_ref()
-                .expect("tracing was requested, so every artifact carries exports");
+            // A stalled simulation has no trace to export; the failure is
+            // reported (and the exit code set) below.
+            let Some(tr) = a.trace.as_ref() else {
+                continue;
+            };
             if let Some(base) = &trace_out {
                 let path = with_id(base, e.id());
                 std::fs::write(&path, &tr.perfetto)
@@ -557,17 +458,46 @@ fn main() {
         cfg.jobs,
         artifacts.len()
     );
-    let record = bench_record(
+    let record = bench_log::bench_record(
         scale,
         cfg.jobs,
+        cfg.sim_threads,
         use_cache,
         &arch,
         faults_spec.as_deref(),
         total_secs,
         &artifacts,
     );
-    if let Err(err) = append_bench_record("results/BENCH_grid.json", &record) {
+    if let Err(err) = bench_log::append_bench_record("results/BENCH_grid.json", &record) {
         eprintln!("could not record results/BENCH_grid.json: {err}");
+    }
+
+    // A stalled simulation (deadlock, livelock, watchdog expiry) renders
+    // its structured failure report in the grid output above and must not
+    // look like success: name the casualties and exit nonzero, after every
+    // healthy experiment has finished and every artifact is written.
+    let failed: Vec<_> = artifacts
+        .iter()
+        .filter(|a| a.summary.engine_failed())
+        .collect();
+    if !failed.is_empty() {
+        for a in &failed {
+            eprintln!(
+                "error: {} did not complete: {}",
+                a.experiment.id(),
+                a.summary
+                    .validation_detail
+                    .lines()
+                    .next()
+                    .unwrap_or("simulation stalled")
+            );
+        }
+        eprintln!(
+            "error: {}/{} experiments failed (full reports above)",
+            failed.len(),
+            artifacts.len()
+        );
+        std::process::exit(1);
     }
 }
 
@@ -602,66 +532,5 @@ mod tests {
             with_id("dir/.hidden.json", "lcp-mp"),
             "dir/.hidden-lcp-mp.json"
         );
-    }
-
-    #[test]
-    fn bench_records_accumulate_as_one_json_document() {
-        let dir = std::env::temp_dir().join(format!("wwt-bench-rec-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("BENCH_grid.json");
-        let path = path.to_str().unwrap();
-        append_bench_record(path, "{\"jobs\":1}").unwrap();
-        append_bench_record(path, "{\"jobs\":4}").unwrap();
-        let s = std::fs::read_to_string(path).unwrap();
-        assert_eq!(s, "{\"runs\":[\n{\"jobs\":1},\n{\"jobs\":4}]}\n");
-        assert_eq!(s.matches('{').count(), s.matches('}').count());
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn bench_records_compact_to_the_latest_n_per_key() {
-        let dir = std::env::temp_dir().join(format!("wwt-bench-compact-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("BENCH_grid.json");
-        let path = path.to_str().unwrap();
-        // One key, appended far past the retention limit.
-        for i in 0..(BENCH_KEEP_PER_KEY + 5) {
-            let rec = format!(
-                "{{\"schema\":2,\"scale\":\"test\",\"jobs\":4,\"cache\":true,\"seq\":{i},\
-                 \"experiments\":[{{\"id\":\"em3d-mp\",\"wall_secs\":0.1,\"cached\":false}}]}}"
-            );
-            append_bench_record(path, &rec).unwrap();
-        }
-        // A different key (other jobs count) must not be evicted by the
-        // first key's overflow.
-        append_bench_record(
-            path,
-            "{\"schema\":2,\"scale\":\"test\",\"jobs\":1,\"cache\":true,\
-             \"experiments\":[{\"id\":\"em3d-mp\",\"wall_secs\":0.2,\"cached\":false}]}",
-        )
-        .unwrap();
-        let s = std::fs::read_to_string(path).unwrap();
-        assert_eq!(s.matches("\"jobs\":4").count(), BENCH_KEEP_PER_KEY, "{s}");
-        assert_eq!(s.matches("\"jobs\":1").count(), 1, "{s}");
-        // The survivors are the *latest* records of the crowded key.
-        assert!(!s.contains("\"seq\":0,"), "{s}");
-        assert!(
-            s.contains(&format!("\"seq\":{},", BENCH_KEEP_PER_KEY + 4)),
-            "{s}"
-        );
-        assert_eq!(s.matches('{').count(), s.matches('}').count());
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn bench_key_separates_configurations() {
-        let a = "{\"schema\":2,\"scale\":\"test\",\"jobs\":4,\"cache\":true,\"experiments\":[{\"id\":\"em3d-mp\"}]}";
-        let b = "{\"schema\":2,\"scale\":\"test\",\"jobs\":1,\"cache\":true,\"experiments\":[{\"id\":\"em3d-mp\"}]}";
-        let c = "{\"schema\":2,\"scale\":\"test\",\"jobs\":4,\"cache\":true,\"experiments\":[{\"id\":\"em3d-sm\"}]}";
-        assert_ne!(bench_key(a), bench_key(b));
-        assert_ne!(bench_key(a), bench_key(c));
-        assert_eq!(bench_key(a), bench_key(a));
     }
 }

@@ -10,6 +10,8 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_log;
+
 use wwt_core::{render_report, run_grid, Experiment, RunnerConfig, Scale};
 
 /// Resolves command-line experiment selectors into a run list.

@@ -260,10 +260,24 @@ pub struct ExperimentSummary {
     pub events: Vec<EventTable>,
 }
 
+/// Prefix the grid runner stamps on [`ExperimentSummary::validation_detail`]
+/// when the simulation itself stalled (as opposed to completing with a
+/// wrong answer).
+pub(crate) const ENGINE_FAILURE_PREFIX: &str = "engine failure: ";
+
 impl ExperimentSummary {
     /// An application stat by name, if recorded.
     pub fn stat(&self, name: &str) -> Option<f64> {
         self.stats.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Did the simulation stall (deadlock, livelock, watchdog expiry)
+    /// rather than complete? Such summaries come from the grid runner's
+    /// failure path and carry the engine's structured stall report in
+    /// [`ExperimentSummary::validation_detail`]; they have no tables and
+    /// are never cached.
+    pub fn engine_failed(&self) -> bool {
+        !self.validation_passed && self.validation_detail.starts_with(ENGINE_FAILURE_PREFIX)
     }
 }
 
@@ -412,40 +426,57 @@ pub fn simulations_performed() -> u64 {
 /// base — the entry point for architecture sweeps. Experiments that
 /// themselves vary the hardware (e.g. the Table-16 1 MB cache) apply
 /// their variation on top of `arch`.
+///
+/// Panics if the simulation stalls; [`try_run_experiment_with_arch`] is
+/// the fallible variant a grid runner should prefer.
 pub fn run_experiment_with_arch(
     e: Experiment,
     scale: Scale,
     sim: wwt_sim::SimConfig,
     arch: ArchParams,
 ) -> ExperimentOutput {
+    try_run_experiment_with_arch(e, scale, sim, arch).unwrap_or_else(|err| panic!("{e}: {err}"))
+}
+
+/// Fallible variant of [`run_experiment_with_arch`]: an engine failure
+/// (deadlock, livelock, watchdog expiry) surfaces as a structured
+/// [`wwt_sim::SimError`] naming the stalled processors instead of
+/// panicking, so a grid run can report the failing experiment and still
+/// finish the others.
+pub fn try_run_experiment_with_arch(
+    e: Experiment,
+    scale: Scale,
+    sim: wwt_sim::SimConfig,
+    arch: ArchParams,
+) -> Result<ExperimentOutput, wwt_sim::SimError> {
     SIMULATIONS.fetch_add(1, Ordering::Relaxed);
     let mp_base = MpConfig::with_arch(arch, sim);
     let sm_base = SmConfig::with_arch(arch, sim);
-    match e {
+    Ok(match e {
         Experiment::MseMp => whole_program_mp(
             e,
             scale,
-            mse::mp::run(&mse_params(scale), mp_base),
+            mse::mp::try_run(&mse_params(scale), mp_base)?,
             "Communication",
             "MSE-MP (Microstructure Electrostatics, Message Passing)",
         ),
         Experiment::MseSm => whole_program_sm(
             e,
             scale,
-            mse::sm::run(&mse_params(scale), sm_base),
+            mse::sm::try_run(&mse_params(scale), sm_base)?,
             "MSE-SM (Microstructure Electrostatics, Shared Memory)",
         ),
         Experiment::GaussMp => whole_program_mp(
             e,
             scale,
-            gauss::mp::run(&gauss_params(scale), mp_base, TreeShape::Lopsided),
+            gauss::mp::try_run(&gauss_params(scale), mp_base, TreeShape::Lopsided)?,
             "Broadcast/Reduction",
             "Gauss-MP (Gaussian Elimination, Message Passing)",
         ),
         Experiment::GaussSm => whole_program_sm(
             e,
             scale,
-            gauss::sm::run(&gauss_params(scale), sm_base),
+            gauss::sm::try_run(&gauss_params(scale), sm_base)?,
             "Gauss-SM (Gaussian Elimination, Shared Memory)",
         ),
         Experiment::GaussAblation => {
@@ -454,9 +485,9 @@ pub fn run_experiment_with_arch(
                 collective_msg_overhead: 250,
                 ..mp_base
             };
-            let flat = gauss::mp::run(&p, cmmd, TreeShape::Flat);
-            let binary = gauss::mp::run(&p, cmmd, TreeShape::Binary);
-            let lop = gauss::mp::run(&p, mp_base, TreeShape::Lopsided);
+            let flat = gauss::mp::try_run(&p, cmmd, TreeShape::Flat)?;
+            let binary = gauss::mp::try_run(&p, cmmd, TreeShape::Binary)?;
+            let lop = gauss::mp::try_run(&p, mp_base, TreeShape::Lopsided)?;
             let coll_cycles = |r: &AppRun| {
                 let m = r.report.avg_matrix();
                 (m.by_scope(wwt_sim::Scope::Reduction) + m.by_scope(wwt_sim::Scope::Broadcast))
@@ -487,7 +518,7 @@ pub fn run_experiment_with_arch(
             whole_program_sm(
                 e,
                 scale,
-                gauss::sm::run(&params, sm_base),
+                gauss::sm::try_run(&params, sm_base)?,
                 "Gauss-SM, push-broadcast pivot rows",
             )
         }
@@ -495,7 +526,7 @@ pub fn run_experiment_with_arch(
             let mut out = whole_program_mp(
                 e,
                 scale,
-                em3d::mp::run(&em3d_params(scale), mp_base),
+                em3d::mp::try_run(&em3d_params(scale), mp_base)?,
                 "Communication",
                 "EM3D-MP (Electromagnetic Propagation, Message Passing)",
             );
@@ -506,7 +537,7 @@ pub fn run_experiment_with_arch(
             let mut out = whole_program_sm(
                 e,
                 scale,
-                em3d::sm::run(&em3d_params(scale), sm_base),
+                em3d::sm::try_run(&em3d_params(scale), sm_base)?,
                 "EM3D-SM (Electromagnetic Propagation, Shared Memory)",
             );
             add_phase_tables(&mut out, "EM3D-SM", true);
@@ -523,7 +554,7 @@ pub fn run_experiment_with_arch(
             let mut out = whole_program_sm(
                 e,
                 scale,
-                em3d::sm::run(&em3d_params(scale), cfg),
+                em3d::sm::try_run(&em3d_params(scale), cfg)?,
                 "EM3D-SM, 1 MB cache",
             );
             add_phase_tables(&mut out, "EM3D-SM (1 MB cache)", true);
@@ -537,7 +568,7 @@ pub fn run_experiment_with_arch(
             let mut out = whole_program_sm(
                 e,
                 scale,
-                em3d::sm::run(&em3d_params(scale), cfg),
+                em3d::sm::try_run(&em3d_params(scale), cfg)?,
                 "EM3D-SM, local allocation",
             );
             add_phase_tables(&mut out, "EM3D-SM (local allocation)", true);
@@ -556,7 +587,7 @@ pub fn run_experiment_with_arch(
             let mut out = whole_program_sm(
                 e,
                 scale,
-                em3d::sm::run(&em3d_params(scale), cfg),
+                em3d::sm::try_run(&em3d_params(scale), cfg)?,
                 "EM3D-SM, bulk-update protocol",
             );
             add_phase_tables(&mut out, "EM3D-SM (bulk update)", true);
@@ -574,7 +605,7 @@ pub fn run_experiment_with_arch(
             let mut out = whole_program_sm(
                 e,
                 scale,
-                em3d::sm::run(&params, cfg),
+                em3d::sm::try_run(&params, cfg)?,
                 "EM3D-SM, consumer flush hint (+ local allocation)",
             );
             add_phase_tables(&mut out, "EM3D-SM (flush hint)", true);
@@ -592,7 +623,7 @@ pub fn run_experiment_with_arch(
             let mut out = whole_program_sm(
                 e,
                 scale,
-                em3d::sm::run(&params, cfg),
+                em3d::sm::try_run(&params, cfg)?,
                 "EM3D-SM, cooperative prefetch (+ local allocation)",
             );
             add_phase_tables(&mut out, "EM3D-SM (prefetch)", true);
@@ -609,7 +640,7 @@ pub fn run_experiment_with_arch(
             let mut out = whole_program_sm(
                 e,
                 scale,
-                em3d::sm::run(&em3d_params(scale), cfg),
+                em3d::sm::try_run(&em3d_params(scale), cfg)?,
                 "EM3D-SM, Stache policy",
             );
             add_phase_tables(&mut out, "EM3D-SM (Stache)", true);
@@ -618,30 +649,30 @@ pub fn run_experiment_with_arch(
         Experiment::LcpMp => whole_program_mp(
             e,
             scale,
-            lcp::mp::run(&lcp_params(scale), mp_base, lcp::LcpMode::Synchronous),
+            lcp::mp::try_run(&lcp_params(scale), mp_base, lcp::LcpMode::Synchronous)?,
             "Communication",
             "LCP-MP (Linear Complementarity, Message Passing)",
         ),
         Experiment::LcpSm => whole_program_sm(
             e,
             scale,
-            lcp::sm::run(&lcp_params(scale), sm_base, lcp::LcpMode::Synchronous),
+            lcp::sm::try_run(&lcp_params(scale), sm_base, lcp::LcpMode::Synchronous)?,
             "LCP-SM (Linear Complementarity, Shared Memory)",
         ),
         Experiment::AlcpMp => whole_program_mp(
             e,
             scale,
-            lcp::mp::run(&lcp_params(scale), mp_base, lcp::LcpMode::Asynchronous),
+            lcp::mp::try_run(&lcp_params(scale), mp_base, lcp::LcpMode::Asynchronous)?,
             "Communication",
             "ALCP-MP (Asynchronous LCP, Message Passing)",
         ),
         Experiment::AlcpSm => whole_program_sm(
             e,
             scale,
-            lcp::sm::run(&lcp_params(scale), sm_base, lcp::LcpMode::Asynchronous),
+            lcp::sm::try_run(&lcp_params(scale), sm_base, lcp::LcpMode::Asynchronous)?,
             "ALCP-SM (Asynchronous LCP, Shared Memory)",
         ),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -34,7 +34,7 @@ pub mod timeline;
 
 pub use experiment::{
     run_experiment, run_experiment_with, run_experiment_with_arch, simulations_performed,
-    Experiment, ExperimentOutput, ExperimentSummary, Machine, Scale,
+    try_run_experiment_with_arch, Experiment, ExperimentOutput, ExperimentSummary, Machine, Scale,
 };
 #[cfg(feature = "trace-json")]
 pub use export::{breakdown_json, experiment_json};

@@ -228,7 +228,10 @@ fn computation(out: &ExperimentSummary) -> f64 {
 /// were fresh or replayed from the run cache.
 pub fn headline_checks(results: &HashMap<Experiment, ExperimentSummary>) -> Vec<HeadlineCheck> {
     let mut checks = Vec::new();
-    let get = |e: Experiment| results.get(&e);
+    // A summary whose simulation stalled has no tables and must not feed
+    // (or crash) a shape check; its failure is already front and center
+    // in the report section above.
+    let get = |e: Experiment| results.get(&e).filter(|s| !s.engine_failed());
 
     // 1. Computation time is nearly equal within each pair; 2. total
     //    ratios match the paper's direction.
@@ -450,7 +453,11 @@ pub fn headline_checks(results: &HashMap<Experiment, ExperimentSummary>) -> Vec<
         (Experiment::LcpMp, "LCP-MP"),
     ] {
         if let Some(out) = get(e) {
-            let lib = out.tables[0].row("Lib Comp").unwrap_or(0.0);
+            let lib = out
+                .tables
+                .first()
+                .and_then(|t| t.row("Lib Comp"))
+                .unwrap_or(0.0);
             let share = 100.0 * lib / total(out).max(1.0);
             checks.push(HeadlineCheck {
                 name: format!("{label}: time in communication library routines"),

@@ -39,7 +39,9 @@ use std::time::Instant;
 use wwt_arch::ArchParams;
 
 use crate::cache;
-use crate::experiment::{run_experiment_with_arch, Experiment, ExperimentSummary, Scale};
+use crate::experiment::{
+    try_run_experiment_with_arch, Experiment, ExperimentSummary, Scale, ENGINE_FAILURE_PREFIX,
+};
 use crate::paper::{headline_checks, paper_reference};
 use crate::timeline::render_timeline;
 
@@ -74,6 +76,12 @@ pub struct RunnerConfig {
     /// Participates in the run-cache key through the engine
     /// configuration.
     pub phases: bool,
+    /// Scheduler shards per simulation (`SimConfig::sim_threads`): the
+    /// quantum-synchronized engine's per-processor event-queue sharding.
+    /// Results are byte-identical for every value; it composes with
+    /// `jobs`, which parallelizes across experiments. Participates in the
+    /// run-cache key through the engine configuration.
+    pub sim_threads: usize,
 }
 
 impl RunnerConfig {
@@ -89,6 +97,7 @@ impl RunnerConfig {
             faults: None,
             arch: ArchParams::default(),
             phases: false,
+            sim_threads: 1,
         }
     }
 
@@ -104,6 +113,7 @@ impl RunnerConfig {
             // (e.g. a permanent fail window silences one node), so give
             // them a progress watchdog instead of an open-ended hang.
             watchdog: self.faults.is_some().then_some(10_000_000),
+            sim_threads: self.sim_threads.max(1),
             ..wwt_sim::SimConfig::default()
         }
     }
@@ -187,7 +197,10 @@ fn run_one(e: Experiment, cfg: &RunnerConfig) -> ExperimentArtifacts {
         }
     }
 
-    let out = run_experiment_with_arch(e, cfg.scale, sim, cfg.arch);
+    let out = match try_run_experiment_with_arch(e, cfg.scale, sim, cfg.arch) {
+        Ok(out) => out,
+        Err(err) => return failure_artifacts(e, cfg, &err, start),
+    };
     let timeline = cfg.timeline.then(|| {
         let bucket = timeline_bucket(cfg.scale);
         let rendered = render_timeline(&out.run.report, bucket, 100)
@@ -223,6 +236,40 @@ fn run_one(e: Experiment, cfg: &RunnerConfig) -> ExperimentArtifacts {
         let _ = cache::save(dir, &art, &sim, &cfg.arch);
     }
     art
+}
+
+/// Artifacts for an experiment whose simulation stalled (deadlock,
+/// livelock, or watchdog expiry): the structured stall report lands in
+/// `validation_detail` with `validation_passed = false`, so the grid can
+/// finish the remaining experiments and the report shows exactly which
+/// run failed and why. Failure artifacts are **never cached** — a retry
+/// after a fix must re-simulate.
+fn failure_artifacts(
+    e: Experiment,
+    cfg: &RunnerConfig,
+    err: &wwt_sim::SimError,
+    start: Instant,
+) -> ExperimentArtifacts {
+    ExperimentArtifacts {
+        experiment: e,
+        summary: ExperimentSummary {
+            experiment: e,
+            scale: cfg.scale,
+            validation_passed: false,
+            validation_detail: format!("{ENGINE_FAILURE_PREFIX}{err}"),
+            stats: Vec::new(),
+            imbalance: 0.0,
+            wait_fraction: 0.0,
+            tables: Vec::new(),
+            events: Vec::new(),
+        },
+        timeline: None,
+        #[cfg(feature = "trace-json")]
+        trace: None,
+        phases: None,
+        wall_secs: start.elapsed().as_secs_f64(),
+        from_cache: false,
+    }
 }
 
 /// Runs every experiment in `experiments`, fanning out across

@@ -127,7 +127,10 @@ pub struct AccessResult {
 /// replacement costs.
 pub struct Cache {
     geometry: CacheGeometry,
-    sets: Vec<Vec<Line>>,
+    /// All lines, flat: set `s` occupies `lines[s * ways .. (s + 1) * ways]`.
+    /// One contiguous allocation keeps a set probe inside a cache line or
+    /// two instead of chasing a per-set heap pointer.
+    lines: Vec<Line>,
     set_mask: u64,
     block_shift: u32,
     rng: SmallRng,
@@ -148,7 +151,7 @@ impl Cache {
         let nsets = geometry.sets();
         Cache {
             geometry,
-            sets: vec![vec![EMPTY; geometry.ways]; nsets],
+            lines: vec![EMPTY; nsets * geometry.ways],
             set_mask: (nsets as u64) - 1,
             block_shift: geometry.block_bytes.trailing_zeros(),
             rng: SmallRng::seed_from_u64(seed ^ 0xcac4e),
@@ -164,6 +167,20 @@ impl Cache {
         ((block >> self.block_shift) & self.set_mask) as usize
     }
 
+    /// The ways of the set `block` maps to, as a mutable slice.
+    fn set_mut(&mut self, block: u64) -> &mut [Line] {
+        let ways = self.geometry.ways;
+        let start = self.set_index(block) * ways;
+        &mut self.lines[start..start + ways]
+    }
+
+    /// The ways of the set `block` maps to.
+    fn set_of(&self, block: u64) -> &[Line] {
+        let ways = self.geometry.ways;
+        let start = self.set_index(block) * ways;
+        &self.lines[start..start + ways]
+    }
+
     /// Accesses the block containing raw block address `block`
     /// (must be block-aligned), filling it on a miss.
     ///
@@ -174,9 +191,9 @@ impl Cache {
             block & (self.geometry.block_bytes - 1) == 0,
             "unaligned block address"
         );
-        let set_idx = self.set_index(block);
         let ways = self.geometry.ways;
-        let set = &mut self.sets[set_idx];
+        let start = self.set_index(block) * ways;
+        let set = &mut self.lines[start..start + ways];
 
         for line in set.iter_mut() {
             if line.valid && line.tag == block {
@@ -222,9 +239,9 @@ impl Cache {
     /// (used when a coherence response installs a line). Returns the
     /// evicted victim, if any.
     pub fn fill(&mut self, block: u64, state: LineState) -> Option<Evicted> {
-        let set_idx = self.set_index(block);
         let ways = self.geometry.ways;
-        let set = &mut self.sets[set_idx];
+        let start = self.set_index(block) * ways;
+        let set = &mut self.lines[start..start + ways];
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == block) {
             line.state = state;
             return None;
@@ -248,7 +265,7 @@ impl Cache {
 
     /// Returns the state of `block` if it is resident.
     pub fn state_of(&self, block: u64) -> Option<LineState> {
-        let set = &self.sets[self.set_index(block)];
+        let set = self.set_of(block);
         set.iter()
             .find(|l| l.valid && l.tag == block)
             .map(|l| l.state)
@@ -256,8 +273,7 @@ impl Cache {
 
     /// Invalidates `block`, returning its state if it was resident.
     pub fn invalidate(&mut self, block: u64) -> Option<LineState> {
-        let set_idx = self.set_index(block);
-        let set = &mut self.sets[set_idx];
+        let set = self.set_mut(block);
         for line in set.iter_mut() {
             if line.valid && line.tag == block {
                 line.valid = false;
@@ -270,8 +286,7 @@ impl Cache {
     /// Downgrades `block` to `Clean` (read-only), returning `true` if it
     /// was resident and `Dirty` (i.e. a writeback is needed).
     pub fn downgrade(&mut self, block: u64) -> bool {
-        let set_idx = self.set_index(block);
-        let set = &mut self.sets[set_idx];
+        let set = self.set_mut(block);
         for line in set.iter_mut() {
             if line.valid && line.tag == block {
                 let was_dirty = line.state == LineState::Dirty;
@@ -284,9 +299,8 @@ impl Cache {
 
     /// All valid resident lines as (raw block address, state) pairs.
     pub fn resident(&self) -> Vec<(u64, LineState)> {
-        self.sets
+        self.lines
             .iter()
-            .flat_map(|s| s.iter())
             .filter(|l| l.valid)
             .map(|l| (l.tag, l.state))
             .collect()
@@ -294,18 +308,12 @@ impl Cache {
 
     /// Number of valid lines currently resident.
     pub fn resident_blocks(&self) -> usize {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter())
-            .filter(|l| l.valid)
-            .count()
+        self.lines.iter().filter(|l| l.valid).count()
     }
 
     /// Invalidates everything (used between experiment phases).
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.fill(EMPTY);
-        }
+        self.lines.fill(EMPTY);
     }
 }
 

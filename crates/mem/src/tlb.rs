@@ -1,8 +1,10 @@
 //! Fully-associative TLB with FIFO replacement (Table 1 of the paper:
 //! 64 entries, 4 KB pages).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
+
+use wwt_sim::FastSet;
 
 /// A fully-associative, FIFO-replacement TLB over raw page addresses.
 ///
@@ -21,7 +23,7 @@ use std::fmt;
 pub struct Tlb {
     entries: usize,
     fifo: VecDeque<u64>,
-    present: HashSet<u64>,
+    present: FastSet<u64>,
 }
 
 impl fmt::Debug for Tlb {
@@ -44,7 +46,7 @@ impl Tlb {
         Tlb {
             entries,
             fifo: VecDeque::with_capacity(entries),
-            present: HashSet::with_capacity(entries * 2),
+            present: FastSet::with_capacity_and_hasher(entries * 2, Default::default()),
         }
     }
 

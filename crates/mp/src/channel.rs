@@ -137,7 +137,7 @@ impl MpMachine {
             ch.capacity
         );
         let _lib = self.lib_scope(cpu);
-        let cfg = *self.config();
+        let cfg = self.config();
         cpu.compute(cfg.chan_write_overhead);
         cpu.count(Counter::ChannelWrites, 1);
         cpu.count(Counter::MessagesSent, 1);
@@ -213,7 +213,7 @@ impl MpMachine {
     }
 
     pub(crate) fn handle_chan_data(self: &Rc<Self>, cpu: &Cpu, pkt: &Packet) {
-        let cfg = *self.config();
+        let cfg = self.config();
         cpu.compute(cfg.chan_recv_packet_overhead);
         let idx = pkt.meta & IDX_MASK;
         let id = (pkt.meta >> IDX_BITS) as usize;

@@ -2,14 +2,14 @@
 //! dispatch, and costed local-memory access.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
 
 use wwt_mem::{touch, AccessKind, Cache, NodeMem, Tlb, TouchOutcome};
 use wwt_sim::{
-    Counter, Cpu, Cycles, Engine, HwBarrier, Kind, Mark, Metric, PacketFate, ProcId, Scope,
-    ScopeGuard, Sim, TraceWhat, WaitCell, WaitTarget,
+    Counter, Cpu, Cycles, Engine, FastMap, HwBarrier, Kind, Mark, Metric, PacketFate, ProcId,
+    Scope, ScopeGuard, Sim, TraceWhat, WaitCell, WaitTarget,
 };
 
 use crate::channel::{ChannelId, RecvChannel};
@@ -61,11 +61,11 @@ pub(crate) struct MpNode {
     pub(crate) rchans: Vec<RecvChannel>,
     pub(crate) announces: Vec<VecDeque<(u32, u32)>>,
     // Software-collective state.
-    pub(crate) red_inbox: HashMap<(u32, usize), [u32; 4]>,
+    pub(crate) red_inbox: FastMap<(u32, usize), [u32; 4]>,
     pub(crate) red_seq: u32,
-    pub(crate) bc_inbox: HashMap<u32, [u32; 4]>,
+    pub(crate) bc_inbox: FastMap<u32, [u32; 4]>,
     pub(crate) bc_seq: u32,
-    pub(crate) bcb_stash: HashMap<u32, BulkBcastState>,
+    pub(crate) bcb_stash: FastMap<u32, BulkBcastState>,
     pub(crate) bcb_seq: u32,
     // Synchronous send/receive rendezvous state.
     pub(crate) sync_reqs: Vec<PendingSend>,
@@ -103,11 +103,11 @@ impl MpNode {
             ni_free: 0,
             rchans: Vec::new(),
             announces: (0..nprocs).map(|_| VecDeque::new()).collect(),
-            red_inbox: HashMap::new(),
+            red_inbox: FastMap::default(),
             red_seq: 0,
-            bc_inbox: HashMap::new(),
+            bc_inbox: FastMap::default(),
             bc_seq: 0,
-            bcb_stash: HashMap::new(),
+            bcb_stash: FastMap::default(),
             bcb_seq: 0,
             sync_reqs: Vec::new(),
             sync_recvs: Vec::new(),
@@ -133,7 +133,7 @@ pub struct MpMachine {
     sim: Rc<Sim>,
     config: MpConfig,
     pub(crate) nodes: RefCell<Vec<MpNode>>,
-    handlers: RefCell<HashMap<u8, Rc<HandlerFn>>>,
+    handlers: RefCell<FastMap<u8, Rc<HandlerFn>>>,
     barrier: HwBarrier,
     /// Cached [`Sim::tracing`] (single branch on packet paths when off).
     tracing: bool,
@@ -170,7 +170,7 @@ impl MpMachine {
             ),
             barrier: HwBarrier::new(n, config.arch.barrier_latency),
             config,
-            handlers: RefCell::new(HashMap::new()),
+            handlers: RefCell::new(FastMap::default()),
             tracing,
             reliable,
         })
@@ -371,7 +371,7 @@ impl MpMachine {
                     }
                     let this = Rc::clone(self);
                     self.sim
-                        .call_at(arrival + extra, move || this.deliver(pkt))
+                        .call_at_for(pkt.dest, arrival + extra, move || this.deliver(pkt))
                         .expect("arrival is clamped to the present");
                 }
                 PacketFate::Deliver { extra } => {
@@ -391,7 +391,7 @@ impl MpMachine {
         }
         let this = Rc::clone(self);
         self.sim
-            .call_at(arrival, move || this.deliver(pkt))
+            .call_at_for(pkt.dest, arrival, move || this.deliver(pkt))
             .expect("arrival is clamped to the present");
     }
 
@@ -465,7 +465,7 @@ impl MpMachine {
             let this = Rc::clone(self);
             let dest = pkt.dest;
             self.sim
-                .call_at(deadline, move || this.retransmit_timer(src, dest))
+                .call_at_for(src, deadline, move || this.retransmit_timer(src, dest))
                 .expect("deadline is in the future");
         }
     }
@@ -579,14 +579,14 @@ impl MpMachine {
             Step::Rearm(at) => {
                 let this = Rc::clone(self);
                 self.sim
-                    .call_at(at, move || this.retransmit_timer(src, dest))
+                    .call_at_for(src, at, move || this.retransmit_timer(src, dest))
                     .expect("deadline is in the future");
             }
             Step::Fire(at) => {
                 self.retransmit_unacked(src, dest);
                 let this = Rc::clone(self);
                 self.sim
-                    .call_at(at, move || this.retransmit_timer(src, dest))
+                    .call_at_for(src, at, move || this.retransmit_timer(src, dest))
                     .expect("deadline is in the future");
             }
         }

@@ -55,7 +55,7 @@ impl MpMachine {
     ) {
         assert!(bytes > 0, "empty synchronous send");
         let _lib = self.lib_scope(cpu);
-        let cfg = *self.config();
+        let cfg = self.config();
         cpu.compute(cfg.chan_write_overhead);
         cpu.count(Counter::MessagesSent, 1);
         // Announce (tag, size) and wait for the receiver's acknowledgement
@@ -116,7 +116,7 @@ impl MpMachine {
         max_bytes: u32,
     ) -> u32 {
         let _lib = self.lib_scope(cpu);
-        let cfg = *self.config();
+        let cfg = self.config();
         cpu.compute(cfg.chan_write_overhead);
         let done = WaitCell::new();
         let len_slot: Rc<std::cell::Cell<u32>> = Rc::default();

@@ -25,6 +25,7 @@ pub struct Cpu {
     id: ProcId,
     // Cached from the (immutable) engine config: hot path avoidance.
     profile_bucket: Option<Cycles>,
+    quantum: Cycles,
     tracing: bool,
     phase_marks: bool,
     // The fault plan's slow window, if it targets this processor.
@@ -53,6 +54,7 @@ impl Cpu {
             sim,
             id,
             profile_bucket: config.profile_bucket,
+            quantum: config.quantum,
             tracing,
             phase_marks,
             slow,
@@ -183,13 +185,13 @@ impl Cpu {
     }
 
     /// Schedules a machine-model callback `delay` cycles after this
-    /// processor's local clock.
+    /// processor's local clock, on this processor's scheduler shard.
     pub fn call_after(&self, delay: Cycles, f: impl FnOnce() + 'static) {
         let at = self.clock() + delay;
         // The callback time is relative to the local clock, which may lag
         // global time if another processor drove time forward; clamp.
         self.sim
-            .call_at(at.max(self.now()), f)
+            .call_at_for(self.id, at.max(self.now()), f)
             .expect("clamped to the present");
     }
 
@@ -199,9 +201,9 @@ impl Cpu {
     /// Machine models call this before any operation whose effect other
     /// processors can observe, which is what guarantees that interactions
     /// are processed in global timestamp order.
-    pub fn resync(&self) -> Resync {
+    pub fn resync(&self) -> Resync<'_> {
         Resync {
-            cpu: self.clone(),
+            cpu: self,
             armed: false,
         }
     }
@@ -210,14 +212,27 @@ impl Cpu {
     /// than the engine quantum ahead of global time. Used on cache *hits*
     /// to shared data, where a bounded skew is acceptable (the WWT quantum
     /// argument).
-    pub fn resync_if_ahead(&self) -> Resync {
-        let quantum = self.sim.config().quantum;
-        let ahead = self.clock().saturating_sub(self.now());
+    pub fn resync_if_ahead(&self) -> Resync<'_> {
+        let (clock, now) = self.sim.clock_now(self.id);
         Resync {
-            cpu: self.clone(),
+            cpu: self,
             // Pretend we already yielded if we are within the quantum.
-            armed: ahead <= quantum,
+            armed: clock.saturating_sub(now) <= self.quantum,
         }
+    }
+
+    /// Clears this processor's blocked marker and advances the local clock
+    /// to `t` (if in the future), charging the stall to `kind`. One borrow
+    /// on the wait-completion hot path.
+    pub(crate) fn unblock_until(&self, t: Cycles, kind: Kind) {
+        let bucket = self.profile_bucket;
+        self.sim.with_proc(self.id, |p| {
+            p.blocked = None;
+            let stall = t.saturating_sub(p.clock);
+            if stall > 0 {
+                p.charge(kind, stall, bucket);
+            }
+        });
     }
 }
 
@@ -247,21 +262,25 @@ impl Drop for ScopeGuard {
     }
 }
 
-/// Future returned by [`Cpu::resync`].
+/// Future returned by [`Cpu::resync`]. Borrows the [`Cpu`]: resyncs
+/// bracket every shared access, and an owned handle would cost an `Rc`
+/// clone per access.
 #[derive(Debug)]
 #[must_use = "futures do nothing unless awaited"]
-pub struct Resync {
-    cpu: Cpu,
+pub struct Resync<'a> {
+    cpu: &'a Cpu,
     armed: bool,
 }
 
-impl Future for Resync {
-    type Output = ();
+impl Future for Resync<'_> {
+    /// Resolves to the local clock at the moment the resync was satisfied
+    /// (callers on the hit path use it to avoid a redundant clock read).
+    type Output = Cycles;
 
-    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
-        let clock = self.cpu.clock();
-        if self.armed || clock <= self.cpu.now() {
-            return Poll::Ready(());
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Cycles> {
+        let (clock, now) = self.cpu.sim.clock_now(self.cpu.id);
+        if self.armed || clock <= now {
+            return Poll::Ready(clock);
         }
         self.cpu.sim.wake_at(self.cpu.id, clock);
         self.armed = true;

@@ -9,9 +9,10 @@ use std::rc::Rc;
 use std::task::{Context, RawWaker, RawWakerVTable, Waker};
 
 use crate::account::{Counter, Counters, CycleMatrix, Kind, Scope};
+use crate::callback::SmallCall;
 use crate::cpu::Cpu;
 use crate::error::{BlockedProc, SimError, StallReport, WaitTarget};
-use crate::event::{Action, EventQueue};
+use crate::event::{Action, ShardedQueue};
 use crate::fault::{FaultConfig, FaultLog, FaultPlan, PacketFate};
 use crate::report::{ProcReport, SimReport};
 use crate::time::{Cycles, ProcId};
@@ -61,6 +62,17 @@ pub struct SimConfig {
     /// records nothing; like tracing, the flag is cached in every [`Cpu`]
     /// handle, so disabled marking costs one branch per boundary.
     pub phase_marks: bool,
+    /// Shard count for the quantum-synchronized scheduler: simulated
+    /// processors are partitioned into this many contiguous shards, each
+    /// with its own calendar event queue; cross-processor events are
+    /// routed to the owning shard and merged back in deterministic
+    /// `(time, seq)` order. Results are **byte-identical for any value**
+    /// — the merge reproduces the single-queue pop order exactly — so
+    /// this only selects the engine's internal organization (and, for
+    /// `Send` workloads, the worker-thread count of
+    /// [`crate::parallel::ParEngine`]). Clamped to the processor count;
+    /// `1` (the default) is a single global queue.
+    pub sim_threads: usize,
 }
 
 impl Default for SimConfig {
@@ -74,6 +86,7 @@ impl Default for SimConfig {
             faults: None,
             watchdog: None,
             phase_marks: false,
+            sim_threads: 1,
         }
     }
 }
@@ -140,12 +153,22 @@ impl Proc {
 
 pub(crate) struct Inner {
     pub(crate) now: Cycles,
-    pub(crate) queue: EventQueue,
+    pub(crate) queue: ShardedQueue,
     pub(crate) procs: Vec<Proc>,
     pub(crate) config: SimConfig,
     pub(crate) events_processed: u64,
     pub(crate) trace: Option<Box<dyn TraceSink>>,
     pub(crate) faults: Option<Box<FaultPlan>>,
+    /// Cached shard routing: `shard_of(p) = p * nshards / nprocs`.
+    nshards: usize,
+    nprocs: usize,
+}
+
+impl Inner {
+    /// The shard owning processor `p` (contiguous blocks).
+    fn shard_of(&self, p: ProcId) -> usize {
+        p.index() * self.nshards / self.nprocs
+    }
 }
 
 /// Shared simulator state, used through an `Rc<Sim>` by [`Cpu`] handles,
@@ -167,10 +190,11 @@ impl fmt::Debug for Sim {
 
 impl Sim {
     fn new(nprocs: usize, config: SimConfig) -> Rc<Self> {
+        let nshards = config.sim_threads.clamp(1, nprocs);
         Rc::new(Sim {
             inner: RefCell::new(Inner {
                 now: 0,
-                queue: EventQueue::new(),
+                queue: ShardedQueue::new(nshards),
                 procs: (0..nprocs).map(|_| Proc::new()).collect(),
                 config,
                 events_processed: 0,
@@ -178,6 +202,8 @@ impl Sim {
                     .trace
                     .then(|| Box::new(TraceBuffer::new()) as Box<dyn TraceSink>),
                 faults: config.faults.map(|cfg| Box::new(FaultPlan::new(cfg))),
+                nshards,
+                nprocs,
             }),
         })
     }
@@ -215,7 +241,37 @@ impl Sim {
         if at < inner.now {
             return Err(SimError::PastEvent { at, now: inner.now });
         }
-        inner.queue.push(at, Action::Call(Box::new(f)));
+        inner.queue.push(at, Action::Call(SmallCall::new(f)));
+        Ok(())
+    }
+
+    /// Schedules a machine-model callback at absolute time `at` on behalf
+    /// of processor `p`: the event is routed to `p`'s shard of the
+    /// quantum-synchronized scheduler. Machine models use this for every
+    /// cross-processor interaction — a packet delivery, a directory
+    /// message, a retransmit timer — naming the processor whose state the
+    /// callback touches, which is how cross-shard sends flow through the
+    /// shard boundary. Ordering (and therefore every simulation result)
+    /// is identical to [`Sim::call_at`] regardless of shard count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PastEvent`] if `at` precedes the current
+    /// global time, exactly like [`Sim::call_at`].
+    pub fn call_at_for(
+        &self,
+        p: ProcId,
+        at: Cycles,
+        f: impl FnOnce() + 'static,
+    ) -> Result<(), SimError> {
+        let mut inner = self.inner.borrow_mut();
+        if at < inner.now {
+            return Err(SimError::PastEvent { at, now: inner.now });
+        }
+        let shard = inner.shard_of(p);
+        inner
+            .queue
+            .push_to(shard, at, Action::Call(SmallCall::new(f)));
         Ok(())
     }
 
@@ -261,16 +317,25 @@ impl Sim {
             .map(|plan| plan.log().clone())
     }
 
-    /// Schedules the task of processor `p` to be re-polled at time `at`.
+    /// Schedules the task of processor `p` to be re-polled at time `at`,
+    /// on `p`'s shard of the scheduler.
     pub fn wake_at(&self, p: ProcId, at: Cycles) {
         let mut inner = self.inner.borrow_mut();
         let at = at.max(inner.now);
-        inner.queue.push(at, Action::Resume(p));
+        let shard = inner.shard_of(p);
+        inner.queue.push_to(shard, at, Action::Resume(p));
     }
 
     /// Returns the local clock of processor `p`.
     pub fn proc_clock(&self, p: ProcId) -> Cycles {
         self.inner.borrow().procs[p.index()].clock
+    }
+
+    /// Returns `(local clock of p, global now)` under a single borrow —
+    /// the resync fast path reads both on every shared access.
+    pub(crate) fn clock_now(&self, p: ProcId) -> (Cycles, Cycles) {
+        let inner = self.inner.borrow();
+        (inner.procs[p.index()].clock, inner.now)
     }
 
     /// Snapshots every processor's (clock, cycle matrix, counters).
@@ -470,7 +535,7 @@ impl Engine {
                             });
                         }
                     }
-                    f();
+                    f.invoke();
                 }
             }
         }

@@ -17,8 +17,11 @@
 //!   [`account::CycleMatrix`] of (attribution scope, cost kind)
 //!   cells, from which the paper's per-table breakdowns are derived.
 //!
-//! The engine is single-threaded and fully deterministic: the same program
-//! and seed produce bit-identical cycle counts and event traces.
+//! The cooperative engine is single-threaded and fully deterministic: the
+//! same program and seed produce bit-identical cycle counts and event
+//! traces, for any [`SimConfig::sim_threads`] shard count. The [`parallel`]
+//! module carries the same quantum-synchronized discipline onto real worker
+//! threads for `Send` actor workloads.
 //!
 //! # Example
 //!
@@ -42,11 +45,14 @@
 
 pub mod account;
 pub mod barrier;
+pub mod callback;
 pub mod cpu;
 pub mod engine;
 pub mod error;
 pub mod event;
 pub mod fault;
+pub mod hash;
+pub mod parallel;
 pub mod report;
 pub mod time;
 pub mod trace;
@@ -54,14 +60,17 @@ pub mod wait;
 
 pub use account::{Counter, Counters, CycleMatrix, Kind, Scope};
 pub use barrier::HwBarrier;
+pub use callback::SmallCall;
 pub use cpu::{Cpu, ScopeGuard};
 pub use engine::{Engine, Sim, SimConfig};
 pub use error::{BlockedProc, SimError, StallReport, WaitTarget};
 pub use fault::{FaultConfig, FaultLog, FaultPlan, PacketFate, ProcWindow, SlowWindow};
+pub use hash::{FastMap, FastSet};
+pub use parallel::{ParConfig, ParEngine, ParReport};
 pub use report::{PhaseMark, ProcReport, SimReport};
 pub use time::{Cycles, ProcId};
 pub use trace::{
     Histogram, Mark, Metric, MetricsRegistry, TraceBuffer, TraceData, TraceEvent, TraceSink,
     TraceWhat,
 };
-pub use wait::WaitCell;
+pub use wait::{CellPool, WaitCell};

@@ -294,11 +294,23 @@ impl Histogram {
     /// interpolation within the log2 bucket the target rank lands in and
     /// clamped to the observed `[min, max]`. Exact when a bucket holds a
     /// single distinct value; 0.0 when the histogram is empty.
+    ///
+    /// Total on its domain: `q` outside `0.0..=1.0` clamps to the nearest
+    /// end, a NaN `q` reads as `0.0`, `percentile(0.0)` is exactly
+    /// [`Histogram::min`] and `percentile(1.0)` exactly
+    /// [`Histogram::max`] — so exported metrics never carry NaN and never
+    /// understate the tail when the top bucket holds a single sample.
     pub fn percentile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        if q <= 0.0 {
+            return self.min as f64;
+        }
+        if q >= 1.0 {
+            return self.max as f64;
+        }
         // Rank of the target sample, 1-based: q of the way through the
         // ordered samples (nearest-rank with interpolation inside the
         // bucket's value range).
@@ -524,6 +536,42 @@ mod tests {
         let p50 = h.percentile(0.50);
         assert!(p50 < 16.0, "median stays in the outlier-free bucket: {p50}");
         assert!(h.percentile(0.999) > 16.0);
+    }
+
+    #[test]
+    fn percentile_is_total_on_degenerate_inputs() {
+        // Empty histogram: every percentile (even a NaN or out-of-range
+        // rank) is 0.0, never NaN and never a panic.
+        let h = Histogram::new();
+        for q in [f64::NAN, -1.0, 0.0, 0.5, 1.0, 2.0, f64::INFINITY] {
+            let p = h.percentile(q);
+            assert_eq!(p, 0.0, "empty histogram, q={q}: {p}");
+        }
+
+        // Two samples whose top bucket holds a single value: p100 must be
+        // the observed max, not the top bucket's lower bound.
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(100); // bucket [64, 128)
+        assert_eq!(h.percentile(0.0), 3.0);
+        assert_eq!(h.percentile(1.0), 100.0);
+
+        // Out-of-range and NaN ranks clamp instead of poisoning the
+        // exported JSON.
+        assert_eq!(h.percentile(-0.5), 3.0);
+        assert_eq!(h.percentile(1.5), 100.0);
+        assert!(!h.percentile(f64::NAN).is_nan());
+
+        // All samples in one bucket: every percentile stays inside the
+        // observed range whatever q is.
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(70); // all in [64, 128)
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let p = h.percentile(q);
+            assert_eq!(p, 70.0, "single-valued histogram, q={q}: {p}");
+        }
     }
 
     #[test]

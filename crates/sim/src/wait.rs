@@ -2,7 +2,7 @@
 //! machine-model event completes (a miss response, a message arrival, a
 //! barrier release, a lock grant).
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
@@ -93,7 +93,7 @@ impl WaitCell {
     /// Blocks the calling processor until the cell completes, charging the
     /// stall (from the current local clock to the completion time) to
     /// `kind`. Resolves to the completion time.
-    pub fn wait(&self, cpu: &Cpu, kind: Kind) -> Wait {
+    pub fn wait<'a>(&'a self, cpu: &'a Cpu, kind: Kind) -> Wait<'a> {
         self.wait_labeled(cpu, kind, "event completion", WaitTarget::Any)
     }
 
@@ -101,16 +101,16 @@ impl WaitCell {
     /// `reason` and a [`WaitTarget`] so a stalled run's
     /// [`crate::StallReport`] can say what this processor was waiting for
     /// and on whom.
-    pub fn wait_labeled(
-        &self,
-        cpu: &Cpu,
+    pub fn wait_labeled<'a>(
+        &'a self,
+        cpu: &'a Cpu,
         kind: Kind,
         reason: &'static str,
         target: WaitTarget,
-    ) -> Wait {
+    ) -> Wait<'a> {
         Wait {
-            cell: self.clone(),
-            cpu: cpu.clone(),
+            cell: self,
+            cpu,
             kind,
             reason,
             target,
@@ -118,28 +118,65 @@ impl WaitCell {
     }
 }
 
+/// A free list of [`WaitCell`]s.
+///
+/// The SM coherence protocol completes one cell per shared miss — tens of
+/// millions per paper-scale run — and each [`WaitCell::new`] is an `Rc`
+/// heap allocation. Hot paths with a strict take/complete/wait lifecycle
+/// take cells from a pool and return them when done; [`CellPool::put`]
+/// recycles the allocation only when the caller holds the last handle, so
+/// a cell that escaped (a stray clone held by a pending closure) is simply
+/// dropped rather than resurrected underneath its holder.
+#[derive(Debug, Default)]
+pub struct CellPool {
+    free: RefCell<Vec<WaitCell>>,
+}
+
+impl CellPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a fresh, incomplete cell, reusing a recycled allocation when
+    /// one is available.
+    pub fn take(&self) -> WaitCell {
+        self.free.borrow_mut().pop().unwrap_or_default()
+    }
+
+    /// Recycles `cell` if this is the last live handle to it (and no
+    /// waiter is registered); otherwise the handle is just dropped.
+    pub fn put(&self, cell: WaitCell) {
+        if Rc::strong_count(&cell.inner) == 1 && cell.inner.waiter.get().is_none() {
+            cell.reset();
+            self.free.borrow_mut().push(cell);
+        }
+    }
+}
+
 /// Future returned by [`WaitCell::wait`].
+///
+/// Borrows the cell and the [`Cpu`]: waiting is on every coherence hot
+/// path, and cloning either (both are `Rc`-backed) cost two refcount
+/// round trips per miss.
 #[derive(Debug)]
 #[must_use = "futures do nothing unless awaited"]
-pub struct Wait {
-    cell: WaitCell,
-    cpu: Cpu,
+pub struct Wait<'a> {
+    cell: &'a WaitCell,
+    cpu: &'a Cpu,
     kind: Kind,
     reason: &'static str,
     target: WaitTarget,
 }
 
-impl Future for Wait {
+impl Future for Wait<'_> {
     type Output = Cycles;
 
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Cycles> {
         match self.cell.inner.completed.get() {
             Some(t) => {
                 self.cell.inner.waiter.set(None);
-                self.cpu
-                    .sim()
-                    .with_proc(self.cpu.id(), |p| p.blocked = None);
-                self.cpu.wait_until(t, self.kind);
+                self.cpu.unblock_until(t, self.kind);
                 Poll::Ready(t)
             }
             None => {

@@ -2,28 +2,30 @@
 //! shared/private access paths.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
 use wwt_mem::{AccessKind, Cache, GAddr, LineState, NodeMem, Segment, Tlb};
-use wwt_sim::{Counter, Cpu, Cycles, Engine, HwBarrier, Kind, Sim, WaitCell};
+use wwt_sim::{
+    CellPool, Counter, Cpu, Cycles, Engine, FastMap, FastSet, HwBarrier, Kind, ProcId, Sim,
+    WaitCell,
+};
 
 use crate::config::{AllocPolicy, ProtocolMode, SmConfig};
-use crate::protocol::DirState;
+use crate::protocol::{DirState, Directory};
 
 pub(crate) struct SmNode {
     pub(crate) mem: NodeMem,
     pub(crate) cache: Cache,
     pub(crate) tlb: Tlb,
-    pub(crate) dir: HashMap<u64, DirState>,
+    pub(crate) dir: Directory,
     pub(crate) dir_busy: Cycles,
     /// Outstanding prefetches: block -> completion cell (MSHR-style, so
     /// demand misses merge into in-flight prefetches instead of issuing
     /// duplicate transactions).
-    pub(crate) pending_prefetch: HashMap<u64, WaitCell>,
+    pub(crate) pending_prefetch: FastMap<u64, WaitCell>,
     /// Blocks parked in local memory by the Stache policy.
-    pub(crate) stache: std::collections::HashSet<u64>,
+    pub(crate) stache: FastSet<u64>,
 }
 
 impl SmNode {
@@ -32,10 +34,10 @@ impl SmNode {
             mem: NodeMem::new(),
             cache: Cache::new(config.arch.cache, seed),
             tlb: Tlb::new(config.arch.tlb_entries),
-            dir: HashMap::new(),
+            dir: Directory::new(config.arch.cache.block_bytes),
             dir_busy: 0,
-            pending_prefetch: HashMap::new(),
-            stache: std::collections::HashSet::new(),
+            pending_prefetch: FastMap::default(),
+            stache: FastSet::default(),
         }
     }
 }
@@ -54,7 +56,9 @@ pub struct SmMachine {
     pub(crate) nodes: RefCell<Vec<SmNode>>,
     barrier: HwBarrier,
     rr_next: Cell<usize>,
-    watchers: RefCell<HashMap<u64, Vec<WaitCell>>>,
+    watchers: RefCell<FastMap<u64, Vec<WaitCell>>>,
+    /// Recycled completion cells for the per-miss transact path.
+    pub(crate) cell_pool: CellPool,
 }
 
 impl fmt::Debug for SmMachine {
@@ -88,7 +92,8 @@ impl SmMachine {
             barrier: HwBarrier::new(n, config.arch.barrier_latency),
             config,
             rr_next: Cell::new(0),
-            watchers: RefCell::new(HashMap::new()),
+            watchers: RefCell::new(FastMap::default()),
+            cell_pool: CellPool::new(),
         })
     }
 
@@ -197,23 +202,28 @@ impl SmMachine {
     // ----- protocol state accessors (used by protocol.rs) ------------------
 
     pub(crate) fn dir_state(&self, home: usize, block: GAddr) -> DirState {
-        self.nodes.borrow()[home]
-            .dir
-            .get(&block.raw())
-            .copied()
-            .unwrap_or_default()
+        self.nodes.borrow()[home].dir.get(block)
     }
 
     pub(crate) fn set_dir_state(&self, home: usize, block: GAddr, st: DirState) {
-        self.nodes.borrow_mut()[home].dir.insert(block.raw(), st);
+        self.nodes.borrow_mut()[home].dir.set(block, st);
     }
 
-    pub(crate) fn dir_busy(&self, home: usize) -> Cycles {
-        self.nodes.borrow()[home].dir_busy
+    /// Directory state of `block` plus its home's busy horizon, read under
+    /// one borrow (the entry read of every `dir_service` request).
+    pub(crate) fn dir_read(&self, home: usize, block: GAddr) -> (DirState, Cycles) {
+        let nodes = self.nodes.borrow();
+        let node = &nodes[home];
+        (node.dir.get(block), node.dir_busy)
     }
 
-    pub(crate) fn set_dir_busy(&self, home: usize, t: Cycles) {
-        self.nodes.borrow_mut()[home].dir_busy = t;
+    /// Writes `block`'s new directory state and the home's busy horizon
+    /// under one borrow (the exit write of every `dir_service` request).
+    pub(crate) fn dir_write(&self, home: usize, block: GAddr, st: DirState, busy: Cycles) {
+        let mut nodes = self.nodes.borrow_mut();
+        let node = &mut nodes[home];
+        node.dir_busy = busy;
+        node.dir.set(block, st);
     }
 
     pub(crate) fn cache_invalidate(&self, node: usize, block: GAddr) {
@@ -311,8 +321,13 @@ impl SmMachine {
         // Catch up with global time before probing, so protocol events
         // (invalidations, prefetch arrivals) up to our local clock have
         // been applied to our cache.
-        cpu.resync_if_ahead().await;
-        let cfg = self.config;
+        // Clock value certified by the resync. While the local clock still
+        // equals it, another resync is provably a no-op (no charge has
+        // happened and global time only moves forward), so the hit path
+        // below can skip the second resync without changing any event's
+        // order.
+        let mut synced_at = cpu.resync_if_ahead().await;
+        let cfg = &self.config;
         let me = cpu.id().index();
         let block_bytes = cfg.arch.cache.block_bytes;
         // In bulk-update mode shared writes do not take ownership; the
@@ -327,45 +342,47 @@ impl SmMachine {
         let mut misses = 0u32;
         loop {
             let block = GAddr::from_raw(block_raw);
-            // TLB.
+            // TLB and cache probe, plus the directory check a hit needs,
+            // all under one borrow of the node table.
             let page = block_raw & !(wwt_mem::PAGE_BYTES - 1);
-            let (tlb_hit, result) = {
+            let (tlb_hit, result, listed) = {
                 let mut nodes = self.nodes.borrow_mut();
                 let node = &mut nodes[me];
                 let tlb_hit = node.tlb.access(page);
                 let result = node.cache.access(block_raw, cache_kind);
-                (tlb_hit, result)
+                // A hit counts only while the directory still attributes
+                // the copy to us; otherwise an invalidation is posted (in
+                // flight on the event queue) and the access races with it
+                // in real time. We resolve that race in the invalidation's
+                // favor — otherwise a deterministic lock-step program
+                // could touch the line just before every arrival and never
+                // observe any invalidation.
+                let listed = result.hit
+                    && !result.upgrade
+                    && match nodes[block.node()].dir.get(block) {
+                        DirState::Shared(s) => s.contains(me),
+                        DirState::Exclusive(o) => o == me,
+                        DirState::Uncached => false,
+                    };
+                (tlb_hit, result, listed)
             };
             if !tlb_hit {
                 cpu.charge(Kind::TlbMiss, cfg.arch.tlb_miss);
                 cpu.count(Counter::TlbMisses, 1);
             }
-            // A hit counts only while the directory still attributes the
-            // copy to us; otherwise an invalidation is posted (in flight on
-            // the event queue) and the access races with it in real time.
-            // We resolve that race in the invalidation's favor — otherwise
-            // a deterministic lock-step program could touch the line just
-            // before every arrival and never observe any invalidation.
-            let result = if result.hit && !result.upgrade {
-                let listed = match self.dir_state(block.node(), block) {
-                    DirState::Shared(s) => s.contains(me),
-                    DirState::Exclusive(o) => o == me,
-                    DirState::Uncached => false,
-                };
-                if listed {
-                    result
-                } else {
-                    // Take the in-flight invalidation now and reload.
-                    self.cache_invalidate(me, block);
-                    self.nodes.borrow_mut()[me]
-                        .cache
-                        .access(block_raw, cache_kind)
-                }
+            let result = if result.hit && !result.upgrade && !listed {
+                // Take the in-flight invalidation now and reload.
+                self.cache_invalidate(me, block);
+                self.nodes.borrow_mut()[me]
+                    .cache
+                    .access(block_raw, cache_kind)
             } else {
                 result
             };
             if result.hit && !result.upgrade {
-                cpu.resync_if_ahead().await;
+                if cpu.clock() != synced_at {
+                    synced_at = cpu.resync_if_ahead().await;
+                }
             } else {
                 // Replacement of the victim displaced by this fill.
                 if let Some(ev) = result.evicted {
@@ -537,7 +554,7 @@ impl SmMachine {
             return 0;
         }
         cpu.resync().await;
-        let cfg = self.config;
+        let cfg = &self.config;
         let me = cpu.id().index();
         let block_bytes = cfg.arch.cache.block_bytes;
         let first = ga.raw() & !(block_bytes - 1);
@@ -570,7 +587,7 @@ impl SmMachine {
             return 0;
         }
         cpu.resync().await;
-        let cfg = self.config;
+        let cfg = &self.config;
         let me = cpu.id().index();
         let block_bytes = cfg.arch.cache.block_bytes;
         let first = ga.raw() & !(block_bytes - 1);
@@ -604,9 +621,13 @@ impl SmMachine {
                 let arrive = cpu.clock() + cfg.latency(me, block.node());
                 let this = Rc::clone(self);
                 self.sim()
-                    .call_at(arrive.max(self.sim().now()), move || {
-                        this.dir_service_prefetch(me, block, cell);
-                    })
+                    .call_at_for(
+                        ProcId::new(block.node()),
+                        arrive.max(self.sim().now()),
+                        move || {
+                            this.dir_service_prefetch(me, block, cell);
+                        },
+                    )
                     .expect("arrival is clamped to the present");
                 issued += 1;
             }
@@ -629,7 +650,7 @@ impl SmMachine {
             return;
         }
         cpu.resync().await;
-        let cfg = self.config;
+        let cfg = &self.config;
         let me = cpu.id().index();
         let n = self.nprocs();
         let block_bytes = cfg.arch.cache.block_bytes;
@@ -657,7 +678,7 @@ impl SmMachine {
                 let arrive = cpu.clock() + cfg.latency(me, q);
                 let this = Rc::clone(self);
                 self.sim()
-                    .call_at(arrive.max(self.sim().now()), move || {
+                    .call_at_for(ProcId::new(q), arrive.max(self.sim().now()), move || {
                         this.install_copy(q, block);
                     })
                     .expect("arrival is clamped to the present");
@@ -680,7 +701,7 @@ impl SmMachine {
             return;
         }
         cpu.resync().await;
-        let cfg = self.config;
+        let cfg = &self.config;
         let me = cpu.id().index();
         let block_bytes = cfg.arch.cache.block_bytes;
         let first = ga.raw() & !(block_bytes - 1);
@@ -725,7 +746,7 @@ impl SmMachine {
                 if ga.segment() != Segment::Shared {
                     continue;
                 }
-                let dir = nodes[ga.node()].dir.get(&raw).copied().unwrap_or_default();
+                let dir = nodes[ga.node()].dir.get(ga);
                 let listed = match dir {
                     DirState::Uncached => false,
                     DirState::Shared(s) => s.contains(n),

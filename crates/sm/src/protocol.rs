@@ -82,6 +82,50 @@ pub enum DirState {
     Exclusive(usize),
 }
 
+/// A home node's directory: per-block [`DirState`], directly indexed by
+/// block number.
+///
+/// Shared offsets come from a bump allocator, so a node's shared blocks
+/// are dense from offset 0 — a flat vector beats a hash map on the
+/// hottest path in the whole simulator (every shared cache *hit* probes
+/// the directory to resolve the race with in-flight invalidations).
+/// Unindexed blocks read as [`DirState::Uncached`]; the vector grows on
+/// first write past its end.
+pub(crate) struct Directory {
+    block_shift: u32,
+    states: Vec<DirState>,
+}
+
+impl Directory {
+    pub(crate) fn new(block_bytes: u64) -> Self {
+        Directory {
+            block_shift: block_bytes.trailing_zeros(),
+            states: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn index(&self, block: GAddr) -> usize {
+        (block.offset() >> self.block_shift) as usize
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, block: GAddr) -> DirState {
+        self.states
+            .get(self.index(block))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn set(&mut self, block: GAddr, st: DirState) {
+        let idx = self.index(block);
+        if idx >= self.states.len() {
+            self.states.resize(idx + 1, DirState::Uncached);
+        }
+        self.states[idx] = st;
+    }
+}
+
 impl SmMachine {
     /// Runs a coherence transaction for `block` on behalf of processor
     /// `cpu`, stalling it until the response arrives. `write` selects a
@@ -97,7 +141,7 @@ impl SmMachine {
         cpu.resync().await;
         let p = cpu.id().index();
         let h = block.node();
-        let cfg = *self.config();
+        let cfg = self.config();
         let start = cpu.clock();
         if cpu.tracing() {
             cpu.trace(TraceWhat::Instant(Mark::MissStart { kind }));
@@ -112,12 +156,12 @@ impl SmMachine {
         }
         // Request message.
         cpu.count(Counter::BytesControl, cfg.ctrl_msg_bytes);
-        let cell = WaitCell::new();
+        let cell = self.cell_pool.take();
         let arrive = cpu.clock() + cfg.latency(p, h);
         let this = Rc::clone(self);
         let cell2 = cell.clone();
         self.sim()
-            .call_at(arrive.max(self.sim().now()), move || {
+            .call_at_for(ProcId::new(h), arrive.max(self.sim().now()), move || {
                 this.dir_service(ProcId::new(p), block, write, cell2)
             })
             .expect("arrival is clamped to the present");
@@ -128,6 +172,7 @@ impl SmMachine {
             WaitTarget::Proc(ProcId::new(h)),
         )
         .await;
+        self.cell_pool.put(cell);
         if cpu.tracing() {
             cpu.trace(TraceWhat::Instant(Mark::MissEnd { kind }));
             cpu.sim()
@@ -139,14 +184,14 @@ impl SmMachine {
     /// full message path (occupancy, recalls, invalidations,
     /// acknowledgements) and completes `cell` at the response time.
     fn dir_service(self: &Rc<Self>, req: ProcId, block: GAddr, write: bool, cell: WaitCell) {
-        let cfg = *self.config();
+        let cfg = self.config();
         let p = req.index();
         let h = block.node();
         let now = self.sim().now();
         self.sim().count(ProcId::new(h), Counter::DirRequests, 1);
 
-        let state = self.dir_state(h, block);
-        let ts = now.max(self.dir_busy(h));
+        let (state, busy) = self.dir_read(h, block);
+        let ts = now.max(busy);
 
         // Helper to attribute traffic to the requester.
         let bytes = |this: &Self, data_msgs: u64, ctrl_msgs: u64| {
@@ -162,16 +207,14 @@ impl SmMachine {
         match (write, state) {
             (false, DirState::Uncached) => {
                 let occ = cfg.dir_base + cfg.dir_send_msg + cfg.dir_send_block;
-                self.set_dir_busy(h, ts + occ);
-                self.set_dir_state(h, block, DirState::Shared(Sharers::one(p)));
+                self.dir_write(h, block, DirState::Shared(Sharers::one(p)), ts + occ);
                 bytes(self, 1, 0);
                 cell.complete(self.sim(), ts + occ + cfg.latency(h, p));
             }
             (false, DirState::Shared(mut s)) => {
                 let occ = cfg.dir_base + cfg.dir_send_msg + cfg.dir_send_block;
-                self.set_dir_busy(h, ts + occ);
                 s.insert(p);
-                self.set_dir_state(h, block, DirState::Shared(s));
+                self.dir_write(h, block, DirState::Shared(s), ts + occ);
                 bytes(self, 1, 0);
                 cell.complete(self.sim(), ts + occ + cfg.latency(h, p));
             }
@@ -180,13 +223,12 @@ impl SmMachine {
                 // thinks it owns (its writeback is in flight). Serve as if
                 // the block were home.
                 let occ = cfg.dir_base + cfg.dir_send_msg + cfg.dir_send_block;
-                self.set_dir_busy(h, ts + occ);
                 let st = if write {
                     DirState::Exclusive(p)
                 } else {
                     DirState::Shared(Sharers::one(p))
                 };
-                self.set_dir_state(h, block, st);
+                self.dir_write(h, block, st, ts + occ);
                 bytes(self, 1, 0);
                 cell.complete(self.sim(), ts + occ + cfg.latency(h, p));
             }
@@ -201,15 +243,14 @@ impl SmMachine {
                 let recall_at = ts + occ1 + cfg.latency(h, o);
                 let wb_at = recall_at + cfg.invalidate + cfg.latency(o, h);
                 let ts2 = wb_at.max(ts + occ1);
-                self.set_dir_busy(h, ts2 + occ2);
                 if write {
                     self.cache_invalidate(o, block);
-                    self.set_dir_state(h, block, DirState::Exclusive(p));
+                    self.dir_write(h, block, DirState::Exclusive(p), ts2 + occ2);
                 } else {
                     self.cache_downgrade(o, block);
                     let mut s = Sharers::one(p);
                     s.insert(o);
-                    self.set_dir_state(h, block, DirState::Shared(s));
+                    self.dir_write(h, block, DirState::Shared(s), ts2 + occ2);
                 }
                 cell.complete(self.sim(), ts2 + occ2 + cfg.latency(h, p));
                 // recall (ctrl) + writeback (data) + response (data)
@@ -217,23 +258,20 @@ impl SmMachine {
             }
             (true, DirState::Uncached) => {
                 let occ = cfg.dir_base + cfg.dir_send_msg + cfg.dir_send_block;
-                self.set_dir_busy(h, ts + occ);
-                self.set_dir_state(h, block, DirState::Exclusive(p));
+                self.dir_write(h, block, DirState::Exclusive(p), ts + occ);
                 bytes(self, 1, 0);
                 cell.complete(self.sim(), ts + occ + cfg.latency(h, p));
             }
             (true, DirState::Shared(s)) => {
-                let others: Vec<usize> = s.iter().filter(|&o| o != p).collect();
                 let upgrade = s.contains(p);
-                if others.is_empty() {
+                let k = u64::from(s.count()) - u64::from(upgrade);
+                if k == 0 {
                     // Sole sharer: grant ownership without data.
                     let occ = cfg.dir_base + cfg.dir_send_msg;
-                    self.set_dir_busy(h, ts + occ);
-                    self.set_dir_state(h, block, DirState::Exclusive(p));
+                    self.dir_write(h, block, DirState::Exclusive(p), ts + occ);
                     bytes(self, 0, 1);
                     cell.complete(self.sim(), ts + occ + cfg.latency(h, p));
                 } else {
-                    let k = others.len() as u64;
                     let occ = cfg.dir_base
                         + k * cfg.dir_send_msg
                         + if upgrade {
@@ -241,9 +279,8 @@ impl SmMachine {
                         } else {
                             cfg.dir_send_block
                         };
-                    self.set_dir_busy(h, ts + occ);
                     let mut last_ack = 0;
-                    for (i, &o) in others.iter().enumerate() {
+                    for (i, o) in s.iter().filter(|&o| o != p).enumerate() {
                         let inv_at = ts
                             + cfg.dir_base
                             + (i as u64 + 1) * cfg.dir_send_msg
@@ -251,7 +288,7 @@ impl SmMachine {
                         self.cache_invalidate(o, block);
                         last_ack = last_ack.max(inv_at + cfg.invalidate + cfg.latency(o, h));
                     }
-                    self.set_dir_state(h, block, DirState::Exclusive(p));
+                    self.dir_write(h, block, DirState::Exclusive(p), ts + occ);
                     // invalidations + acks (ctrl) + response
                     bytes(
                         self,
@@ -276,7 +313,7 @@ impl SmMachine {
         let this = Rc::clone(self);
         let sim = Rc::clone(self.sim());
         self.sim()
-            .call_at(resp.max(self.sim().now()), move || {
+            .call_at_for(ProcId::new(p), resp.max(self.sim().now()), move || {
                 this.install_prefetched(p, block);
                 let _ = &sim;
             })
@@ -323,7 +360,7 @@ impl SmMachine {
     /// `p`'s cache: a dirty victim is written back (data message), a clean
     /// victim sends a replacement hint so the full map stays exact.
     pub(crate) fn shared_eviction(self: &Rc<Self>, cpu: &Cpu, victim: GAddr, state: LineState) {
-        let cfg = *self.config();
+        let cfg = self.config();
         let p = cpu.id().index();
         let h = victim.node();
         match state {
@@ -338,7 +375,7 @@ impl SmMachine {
         let arrive = cpu.clock() + cfg.latency(p, h);
         let this = Rc::clone(self);
         self.sim()
-            .call_at(arrive.max(self.sim().now()), move || {
+            .call_at_for(ProcId::new(h), arrive.max(self.sim().now()), move || {
                 let st = this.dir_state(h, victim);
                 let new = match st {
                     DirState::Exclusive(o) if o == p => DirState::Uncached,

@@ -92,6 +92,72 @@ fn same_fault_seed_replays_byte_identically_across_jobs_and_repeats() {
 }
 
 #[test]
+fn sim_thread_count_never_changes_faulted_results() {
+    // The scheduler shard count must be invisible even when fault
+    // injection is rewriting deliveries: the fault RNG draws are keyed to
+    // packets, not to scheduling, so the faulted report is byte-identical
+    // for every `sim_threads` value.
+    let faults = chaos("seed=7,drop=0.01,dup=0.001,reorder=0.002,jitter=150");
+    let report = |sim_threads: usize| {
+        let c = RunnerConfig {
+            sim_threads,
+            ..cfg(1, Some(faults))
+        };
+        render_report(&run_grid(&SUBSET, &c), Scale::Test)
+    };
+    let base = report(1);
+    for st in [2, 4] {
+        assert_eq!(base, report(st), "sim_threads={st} changed faulted output");
+    }
+}
+
+#[test]
+fn a_dead_node_fails_its_experiment_but_not_the_grid() {
+    // Processor 0 never delivers for the entire run, so the MP machine
+    // retransmits forever until the progress watchdog calls it a
+    // livelock. The grid must surface that as a structured engine
+    // failure on the affected experiment — naming the stalled
+    // processors — while the shared-memory experiment in the same grid
+    // still completes and validates, and the whole run stays
+    // deterministic.
+    let faults = chaos("seed=5,fail=0@0..100000000");
+    let es = [Experiment::Em3dMp, Experiment::GaussSm];
+    let arts = run_grid(&es, &cfg(2, Some(faults)));
+    assert_eq!(arts.len(), 2);
+    let (mp, sm) = (&arts[0], &arts[1]);
+
+    assert!(
+        mp.summary.engine_failed(),
+        "a permanently dead node must stall the MP run, got: {}",
+        mp.summary.validation_detail
+    );
+    assert!(!mp.summary.validation_passed);
+    assert!(
+        mp.summary.validation_detail.contains("livelock"),
+        "watchdog expiry should be reported as a livelock: {}",
+        mp.summary.validation_detail
+    );
+    assert!(
+        mp.summary.tables.is_empty(),
+        "a failed run has no breakdown tables"
+    );
+
+    assert!(
+        sm.summary.validation_passed,
+        "the SM experiment must finish despite its grid-mate failing: {}",
+        sm.summary.validation_detail
+    );
+    assert!(!sm.summary.engine_failed());
+
+    // The rendered report carries the structured failure verbatim and is
+    // byte-identical between sequential and parallel grid runs.
+    let report = render_report(&arts, Scale::Test);
+    assert!(report.contains("validation: FAIL — engine failure: livelock"));
+    let seq = render_report(&run_grid(&es, &cfg(1, Some(faults))), Scale::Test);
+    assert_eq!(report, seq);
+}
+
+#[test]
 fn different_fault_seeds_differ() {
     let a = render_report(
         &run_grid(
