@@ -100,13 +100,30 @@ pub fn bench_record(
 
 /// Normalizes one existing record to the current schema.
 ///
-/// Returns `None` for legacy records (no `"schema"` field): they predate
-/// `"arch_hash"`/`"faults"` and cannot be attributed to a configuration,
-/// so they are dropped rather than given invented values. Schema-2
-/// records gain `"sim_threads":1` and a bumped schema number; current
-/// records pass through unchanged.
+/// Returns `None` for legacy records (no `"schema"` field, or an
+/// unparseable one): they predate `"arch_hash"`/`"faults"` and cannot be
+/// attributed to a configuration, so they are dropped rather than given
+/// invented values. Records stamped with a **future** schema (a newer
+/// build wrote them) are skipped with a stderr warning instead of being
+/// reinterpreted — this build cannot know what their fields mean. A
+/// record at or below the current schema that lacks `"sim_threads"`
+/// (schema 2, or a hand-damaged schema-3 line) gains `"sim_threads":1`
+/// — the only value those builds could run — and a restamped schema
+/// number; current records pass through unchanged.
 fn migrate(rec: &str) -> Option<String> {
-    if !rec.contains("\"schema\":") {
+    let schema: u32 = rec
+        .split("\"schema\":")
+        .nth(1)?
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .ok()?;
+    if schema > SCHEMA {
+        eprintln!(
+            "warning: BENCH_grid.json record with schema {schema} was written by a \
+             newer build (this one writes {SCHEMA}); skipping it"
+        );
         return None;
     }
     if rec.contains("\"sim_threads\":") {
@@ -282,6 +299,40 @@ mod tests {
         assert!(!s.contains("\"seq\":0,"), "{s}");
         assert!(s.contains(&format!("\"seq\":{},", KEEP_PER_KEY + 4)), "{s}");
         assert_eq!(s.matches('{').count(), s.matches('}').count());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_schema_records_are_skipped_not_mangled() {
+        let (dir, path) = temp_log("future");
+        // A hypothetical schema-4 record without sim_threads: a naive
+        // migration would splice fields into a layout it cannot know.
+        let future = "{\"schema\":4,\"scale\":\"test\",\"jobs\":4,\"cache\":true,\
+             \"new_field\":\"?\",\"experiments\":[]}";
+        std::fs::write(&path, format!("{{\"runs\":[\n{future},\n{SCHEMA2}]}}\n")).unwrap();
+        append_bench_record(&path, SCHEMA3).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(!s.contains("\"schema\":4"), "future record kept: {s}");
+        assert!(!s.contains("new_field"), "{s}");
+        // The rest of the file is still normalized as usual.
+        assert_eq!(s.matches("\"schema\":3").count(), 2, "{s}");
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn current_schema_record_missing_sim_threads_gains_the_default() {
+        let (dir, path) = temp_log("missing-field");
+        // A schema-3 line whose sim_threads field went missing (hand
+        // edit, partial write): degrade to the schema-2 default rather
+        // than leaving the file with mixed layouts.
+        let damaged = SCHEMA3.replace("\"sim_threads\":2,", "");
+        std::fs::write(&path, format!("{{\"runs\":[\n{damaged}]}}\n")).unwrap();
+        append_bench_record(&path, SCHEMA3).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.contains("\"sim_threads\":1,\"cache\":true"), "{s}");
+        assert_eq!(s.matches("\"sim_threads\":").count(), 2, "{s}");
+        assert!(!s.contains("\"schema\":2"), "{s}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

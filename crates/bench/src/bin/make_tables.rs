@@ -7,7 +7,8 @@
 //!             [--timeline] [--trace OUT.json] [--metrics OUT.json]
 //!             [--json OUT.json] [--faults SPEC] [--arch SPEC]
 //!             [--arch-sweep KEY=V1,V2,...] [--sweep-delta] [--diff A B]
-//!             [--diff-json OUT.json] [experiment-id ...]
+//!             [--diff-json OUT.json] [--obs] [--obs-json OUT.json]
+//!             [--obs-prom OUT.txt] [experiment-id ...]
 //! ```
 //!
 //! With no experiment ids, every experiment runs. An id is either an
@@ -77,11 +78,25 @@
 //! `out.json` becomes `out-em3d-mp.json`). `--metrics` writes the latency
 //! histograms as JSON the same way and prints them as ASCII tables;
 //! `--json` writes the result tables and run summary as JSON.
+//!
+//! `--obs` turns on **host**-side self-observability (`wwt_obs`): while
+//! the guest flags above attribute *simulated* cycles, `--obs` profiles
+//! the simulator itself — events/sec per scheduler shard, calendar-queue
+//! depths, `SmallCall` inline ratio, WaitCell pool recycling, run-cache
+//! traffic, per-experiment wall time — and prints a self-profile table on
+//! **stderr** (stdout stays byte-identical with or without the flag, at
+//! any `--jobs`/`--sim-threads`, clean or faulted). A background sampler
+//! also feeds a flight recorder whose last snapshots attach to any
+//! `SimError` diagnostic. `--obs-json OUT.json` writes the recorded
+//! snapshots as JSON; `--obs-prom OUT.txt` writes the final snapshot as
+//! Prometheus text exposition (both imply `--obs`). Grid invocations with
+//! `--obs` also record the snapshots to `results/OBS_grid.json` next to
+//! `BENCH_grid.json`.
 
 use std::path::PathBuf;
 
 use wwt_bench::bench_log;
-use wwt_bench::select_experiments;
+use wwt_bench::{select_experiments, timing_line, timing_total};
 use wwt_core::arch::{sweep_points, ArchParams, ArchSweep, KEYS, PRESETS};
 use wwt_core::{
     render_report, render_sweep_report, run_grid, run_sweep, Experiment, RunnerConfig, Scale,
@@ -114,6 +129,7 @@ fn usage() -> ! {
          fail=PROC@FROM..UNTIL,slow=PROC@FROM..UNTILxFACTOR] \
          [--arch preset[,key=value,...]] [--arch-sweep key=v1,v2,...]... \
          [--sweep-delta] [--diff A B] [--diff-json OUT.json] \
+         [--obs] [--obs-json OUT.json] [--obs-prom OUT.txt] \
          [experiment-id ...]"
     );
     eprintln!(
@@ -195,6 +211,72 @@ fn resolve_diff_side(
     Ok((spec.to_string(), art.from_cache, prof))
 }
 
+/// One-line end-of-run cache effectiveness summary on stderr
+/// (always-on counters, so this works without `--obs`).
+fn cache_summary() {
+    let (hits, misses, bytes, corrupt) = wwt_core::cache::stats();
+    eprintln!(
+        "cache: {hits} hits, {misses} misses, {bytes} bytes read, {corrupt} corrupt entries recovered"
+    );
+}
+
+/// With `--obs --sim-threads N` (N ≥ 2), runs a short synthetic ring
+/// workload on the threaded `ParEngine` at that shard count so the
+/// self-profile includes measured quantum-barrier costs — the machine
+/// models still run on the single-threaded sharded scheduler (ROADMAP
+/// item 1), so this calibration is the only way to see what the parallel
+/// harness itself will cost at the requested width. Stderr only; the
+/// simulated experiment output is untouched.
+fn obs_calibrate_parengine(sim_threads: usize) {
+    use wwt_core::sim::parallel::{workloads, ParConfig, ParEngine};
+    let nprocs = sim_threads * 4;
+    let mut eng = ParEngine::new(
+        nprocs,
+        ParConfig {
+            shards: sim_threads,
+            lookahead: 100,
+            quantum: 100,
+        },
+    );
+    workloads::install_ring(&mut eng, nprocs, 200, 50);
+    let report = eng.run();
+    eprintln!(
+        "obs: parengine calibration ring ({sim_threads} shards, {nprocs} procs, {} deliveries)",
+        report.delivered()
+    );
+}
+
+/// Emits the end-of-run host-metrics outputs: the self-profile table on
+/// stderr plus the optional JSON / Prometheus files. Returns the recorded
+/// snapshots as JSON (flight recorder + one final snapshot) so the grid
+/// path can also drop it next to `BENCH_grid.json`. Stdout is never
+/// touched — simulated output must stay byte-identical under `--obs`.
+fn obs_finish(
+    sim_threads: usize,
+    obs_json_out: Option<&str>,
+    obs_prom_out: Option<&str>,
+) -> String {
+    use wwt_core::obs;
+    if sim_threads >= 2 {
+        obs_calibrate_parengine(sim_threads);
+    }
+    let last = obs::snapshot_now();
+    eprint!("{}", obs::render_table(&last));
+    let mut snaps = obs::recent_snapshots();
+    snaps.push(last.clone());
+    let json = obs::render_json(&snaps);
+    if let Some(path) = obs_json_out {
+        std::fs::write(path, &json).unwrap_or_else(|err| panic!("writing {path}: {err}"));
+        eprintln!("wrote obs json {path}");
+    }
+    if let Some(path) = obs_prom_out {
+        std::fs::write(path, obs::render_prometheus(&last))
+            .unwrap_or_else(|err| panic!("writing {path}: {err}"));
+        eprintln!("wrote obs prometheus {path}");
+    }
+    json
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
@@ -212,6 +294,9 @@ fn main() {
     let mut sweep_delta = false;
     let mut diff: Option<(String, String)> = None;
     let mut diff_json_out: Option<String> = None;
+    let mut obs = false;
+    let mut obs_json_out: Option<String> = None;
+    let mut obs_prom_out: Option<String> = None;
     let mut selectors: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -276,6 +361,15 @@ fn main() {
                 diff = Some((a, b));
             }
             "--diff-json" => diff_json_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--obs" => obs = true,
+            "--obs-json" => {
+                obs = true;
+                obs_json_out = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
+            "--obs-prom" => {
+                obs = true;
+                obs_prom_out = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => usage(),
             id => selectors.push(id.to_string()),
         }
@@ -284,6 +378,14 @@ fn main() {
         eprintln!("unknown experiment '{bad}' (try --help)");
         std::process::exit(2);
     });
+
+    if obs {
+        // Enable before any engine exists: the sharded queue caches the
+        // flag at construction. The sampler feeds the flight recorder
+        // that SimError diagnostics attach.
+        wwt_core::obs::enable();
+        wwt_core::obs::start_sampler(100);
+    }
 
     let tracing_requested = trace_out.is_some() || metrics_out.is_some() || json_out.is_some();
     #[cfg(not(feature = "trace-json"))]
@@ -320,13 +422,15 @@ fn main() {
         }
         let start = std::time::Instant::now();
         let resolve = |spec: &str| {
-            resolve_diff_side(spec, &cfg).unwrap_or_else(|err| {
+            let side_start = std::time::Instant::now();
+            let side = resolve_diff_side(spec, &cfg).unwrap_or_else(|err| {
                 eprintln!("{err}");
                 std::process::exit(2);
-            })
+            });
+            (side, side_start.elapsed().as_secs_f64())
         };
-        let (label_a, cached_a, prof_a) = resolve(&spec_a);
-        let (label_b, cached_b, prof_b) = resolve(&spec_b);
+        let ((label_a, cached_a, prof_a), secs_a) = resolve(&spec_a);
+        let ((label_b, cached_b, prof_b), secs_b) = resolve(&spec_b);
         let d = wwt_core::diff::diff_profiles(&prof_a, &prof_b);
         print!("{}", wwt_core::diff::render_diff(&d, &prof_a, &prof_b));
         if let Some(path) = &diff_json_out {
@@ -336,11 +440,33 @@ fn main() {
         }
         let cached = |c: bool| if c { " (cached)" } else { "" };
         eprintln!(
-            "timing: diff A={label_a}{} B={label_b}{} in {:.2}s",
-            cached(cached_a),
-            cached(cached_b),
-            start.elapsed().as_secs_f64()
+            "{}",
+            timing_line(&format!("A={label_a}"), secs_a, cached(cached_a))
         );
+        eprintln!(
+            "{}",
+            timing_line(&format!("B={label_b}"), secs_b, cached(cached_b))
+        );
+        eprintln!(
+            "{}",
+            timing_total(
+                "2 diff sides",
+                start.elapsed().as_secs_f64(),
+                cfg.jobs,
+                cached_a as usize + cached_b as usize,
+                2,
+            )
+        );
+        if use_cache {
+            cache_summary();
+        }
+        if obs {
+            obs_finish(
+                sim_threads,
+                obs_json_out.as_deref(),
+                obs_prom_out.as_deref(),
+            );
+        }
         return;
     }
 
@@ -373,19 +499,40 @@ fn main() {
             let hits = o.artifacts.iter().filter(|a| a.from_cache).count();
             let secs: f64 = o.artifacts.iter().map(|a| a.wall_secs).sum();
             eprintln!(
-                "timing: {:<28} {:8.2}s (cache hits {hits}/{})",
-                o.label,
-                secs,
-                o.artifacts.len()
+                "{}",
+                timing_line(
+                    &o.label,
+                    secs,
+                    &format!(" (cache hits {hits}/{})", o.artifacts.len()),
+                )
             );
         }
+        let total_runs: usize = outcomes.iter().map(|o| o.artifacts.len()).sum();
+        let total_hits: usize = outcomes
+            .iter()
+            .flat_map(|o| &o.artifacts)
+            .filter(|a| a.from_cache)
+            .count();
         eprintln!(
-            "timing: swept {} points x {} experiments in {:.2}s (jobs={})",
-            outcomes.len(),
-            selected.len(),
-            total_secs,
-            cfg.jobs
+            "{}",
+            timing_total(
+                &format!("{} points x {} experiments", outcomes.len(), selected.len()),
+                total_secs,
+                cfg.jobs,
+                total_hits,
+                total_runs,
+            )
         );
+        if use_cache {
+            cache_summary();
+        }
+        if obs {
+            obs_finish(
+                sim_threads,
+                obs_json_out.as_deref(),
+                obs_prom_out.as_deref(),
+            );
+        }
         return;
     }
 
@@ -445,19 +592,27 @@ fn main() {
     let hits = artifacts.iter().filter(|a| a.from_cache).count();
     for a in &artifacts {
         eprintln!(
-            "timing: {:<16} {:8.2}s{}",
-            a.experiment.id(),
-            a.wall_secs,
-            if a.from_cache { " (cached)" } else { "" }
+            "{}",
+            timing_line(
+                a.experiment.id(),
+                a.wall_secs,
+                if a.from_cache { " (cached)" } else { "" },
+            )
         );
     }
     eprintln!(
-        "timing: total {} experiments in {:.2}s (jobs={}, cache hits {hits}/{})",
-        artifacts.len(),
-        total_secs,
-        cfg.jobs,
-        artifacts.len()
+        "{}",
+        timing_total(
+            &format!("{} experiments", artifacts.len()),
+            total_secs,
+            cfg.jobs,
+            hits,
+            artifacts.len(),
+        )
     );
+    if use_cache {
+        cache_summary();
+    }
     let record = bench_log::bench_record(
         scale,
         cfg.jobs,
@@ -470,6 +625,23 @@ fn main() {
     );
     if let Err(err) = bench_log::append_bench_record("results/BENCH_grid.json", &record) {
         eprintln!("could not record results/BENCH_grid.json: {err}");
+    }
+    if obs {
+        let snaps_json = obs_finish(
+            sim_threads,
+            obs_json_out.as_deref(),
+            obs_prom_out.as_deref(),
+        );
+        // The self-profile artifact rides along with the grid's timing
+        // record (same best-effort discipline as BENCH_grid.json).
+        let path = "results/OBS_grid.json";
+        if let Err(err) =
+            std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &snaps_json))
+        {
+            eprintln!("could not record {path}: {err}");
+        } else {
+            eprintln!("wrote obs snapshots {path}");
+        }
     }
 
     // A stalled simulation (deadlock, livelock, watchdog expiry) renders

@@ -51,6 +51,23 @@ pub fn select_experiments<S: AsRef<str>>(selectors: &[S]) -> Result<Vec<Experime
     Ok(selected)
 }
 
+/// One stderr per-item timing line, in the single format shared by the
+/// grid, `--arch-sweep`, and `--diff` paths:
+/// `timing: <label padded to 28> <secs>s<note>`. `note` carries cache
+/// provenance (`" (cached)"`, `" (cache hits H/N)"`) or is empty.
+pub fn timing_line(label: &str, secs: f64, note: &str) -> String {
+    format!("timing: {label:<28} {secs:>8.2}s{note}")
+}
+
+/// The stderr end-of-run timing summary, in the single format shared by
+/// every `make_tables` path:
+/// `timing: total <items> in <secs>s (jobs=N, cache hits H/N)`.
+/// `items` names what was timed (`"18 experiments"`,
+/// `"6 points x 2 experiments"`, `"2 diff sides"`).
+pub fn timing_total(items: &str, secs: f64, jobs: usize, hits: usize, total: usize) -> String {
+    format!("timing: total {items} in {secs:.2}s (jobs={jobs}, cache hits {hits}/{total})")
+}
+
 /// Runs a set of experiments and renders the full report: measured tables,
 /// the paper's published values alongside, and the headline shape checks.
 pub fn full_report(experiments: &[Experiment], scale: Scale) -> String {

@@ -411,25 +411,55 @@ pub fn load(
     arch: &ArchParams,
 ) -> Option<ExperimentArtifacts> {
     let path = entry_path(dir, e, scale, sim, arch);
+    // Cache counters are always-on (a few ticks per experiment, nowhere
+    // near a hot path): the grid runner's end-of-run cache summary works
+    // without `--obs`.
+    use wwt_obs::{count_always, Ctr};
     let text = match fs::read_to_string(&path) {
         Ok(text) => text,
-        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+            count_always(Ctr::CacheMisses, 1);
+            return None;
+        }
         Err(err) => {
             eprintln!(
                 "warning: run cache entry {} is unreadable ({err}); re-running",
                 path.display()
             );
+            count_always(Ctr::CacheMisses, 1);
+            count_always(Ctr::CacheCorruptRecovered, 1);
             return None;
         }
     };
     let parsed = parse(&text, e, scale);
-    if parsed.is_none() {
-        eprintln!(
-            "warning: run cache entry {} is truncated or corrupt; re-running",
-            path.display()
-        );
+    match &parsed {
+        Some(_) => {
+            count_always(Ctr::CacheHits, 1);
+            count_always(Ctr::CacheBytesRead, text.len() as u64);
+        }
+        None => {
+            eprintln!(
+                "warning: run cache entry {} is truncated or corrupt; re-running",
+                path.display()
+            );
+            count_always(Ctr::CacheMisses, 1);
+            count_always(Ctr::CacheCorruptRecovered, 1);
+        }
     }
     parsed
+}
+
+/// The process-wide run-cache totals, as
+/// `(hits, misses, bytes_read, corrupt_recovered)`. Backed by the
+/// always-on `wwt_obs` counters, so it works without `--obs`.
+pub fn stats() -> (u64, u64, u64, u64) {
+    use wwt_obs::{counter, Ctr};
+    (
+        counter(Ctr::CacheHits),
+        counter(Ctr::CacheMisses),
+        counter(Ctr::CacheBytesRead),
+        counter(Ctr::CacheCorruptRecovered),
+    )
 }
 
 #[cfg(test)]

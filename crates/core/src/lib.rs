@@ -57,6 +57,7 @@ pub use wwt_arch as arch;
 pub use wwt_diff as diff;
 pub use wwt_mem as mem;
 pub use wwt_mp as mp;
+pub use wwt_obs as obs;
 pub use wwt_sim as sim;
 pub use wwt_sm as sm;
 pub use wwt_trace as trace;

@@ -186,6 +186,18 @@ fn covers(a: &ExperimentArtifacts, cfg: &RunnerConfig) -> bool {
 /// single simulation, consulting the cache first.
 fn run_one(e: Experiment, cfg: &RunnerConfig) -> ExperimentArtifacts {
     let start = Instant::now();
+    wwt_obs::job_enter();
+    let art = run_one_inner(e, cfg, start);
+    wwt_obs::job_exit();
+    wwt_obs::count_always(wwt_obs::Ctr::GridExperimentsRun, 1);
+    if art.from_cache {
+        wwt_obs::count_always(wwt_obs::Ctr::GridExperimentsCached, 1);
+    }
+    wwt_obs::record_wall_us(start.elapsed().as_micros() as u64);
+    art
+}
+
+fn run_one_inner(e: Experiment, cfg: &RunnerConfig, start: Instant) -> ExperimentArtifacts {
     let sim = cfg.sim_config();
     if let Some(dir) = &cfg.cache_dir {
         if let Some(mut hit) = cache::load(dir, e, cfg.scale, &sim, &cfg.arch) {

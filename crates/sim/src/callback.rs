@@ -42,6 +42,7 @@ impl SmallCall {
     pub fn new<F: FnOnce() + 'static>(f: F) -> Self {
         let mut data: [MaybeUninit<u64>; WORDS] = [MaybeUninit::uninit(); WORDS];
         if size_of::<F>() <= INLINE_BYTES && align_of::<F>() <= align_of::<u64>() {
+            wwt_obs::count(wwt_obs::Ctr::SimCallInline, 1);
             // SAFETY: F fits the storage in both size and alignment
             // (checked above), and the storage is uninitialized.
             unsafe { (data.as_mut_ptr() as *mut F).write(f) };
@@ -51,6 +52,7 @@ impl SmallCall {
                 drop_fn: drop_inline::<F>,
             }
         } else {
+            wwt_obs::count(wwt_obs::Ctr::SimCallBoxed, 1);
             // Large capture: store one raw Box pointer inline instead.
             // SAFETY: a thin pointer always fits the first word.
             unsafe { (data.as_mut_ptr() as *mut *mut F).write(Box::into_raw(Box::new(f))) };

@@ -602,6 +602,7 @@ impl Engine {
             events_processed: inner.events_processed,
             nprocs: inner.procs.len(),
             blocked,
+            obs: wwt_obs::failure_snapshots(),
         }
     }
 }

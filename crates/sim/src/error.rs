@@ -59,7 +59,7 @@ impl fmt::Display for BlockedProc {
 }
 
 /// Per-processor blocked-state snapshot taken when a run stalls.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct StallReport {
     /// Global simulated time when the run stalled.
     pub now: Cycles,
@@ -69,7 +69,26 @@ pub struct StallReport {
     pub nprocs: usize,
     /// Every processor whose task had not finished, with its wait state.
     pub blocked: Vec<BlockedProc>,
+    /// Host-side flight-recorder snapshots taken up to the failure (see
+    /// `wwt_obs`): what the *simulator* was doing just before it died.
+    /// Empty unless host metrics were enabled; ignored by `PartialEq` so
+    /// wall-time noise never makes equal stalls compare unequal.
+    pub obs: Vec<wwt_obs::ObsSnapshot>,
 }
+
+/// Equality ignores `obs`: flight-recorder snapshots carry host wall
+/// times, and two runs stalling in the same simulated state must compare
+/// equal regardless of how long the simulator took to get there.
+impl PartialEq for StallReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.now == other.now
+            && self.events_processed == other.events_processed
+            && self.nprocs == other.nprocs
+            && self.blocked == other.blocked
+    }
+}
+
+impl Eq for StallReport {}
 
 impl StallReport {
     /// The wait-for graph as `(waiter, waited-on)` edges.
@@ -126,6 +145,9 @@ impl fmt::Display for StallReport {
             for (p, q) in edges {
                 write!(f, "\n  {p} -> {q}")?;
             }
+        }
+        if !self.obs.is_empty() {
+            write!(f, "\n{}", wwt_obs::render_flight_recorder(&self.obs))?;
         }
         Ok(())
     }
@@ -233,6 +255,7 @@ mod tests {
                 blocked(0, "message receive", WaitTarget::Any),
                 blocked(2, "coherence reply", WaitTarget::Proc(ProcId::new(1))),
             ],
+            obs: vec![],
         };
         let s = SimError::Deadlock(report).to_string();
         assert!(s.contains("deadlock"), "{s}");
@@ -257,6 +280,7 @@ mod tests {
                 blocked(0, "barrier", WaitTarget::Barrier),
                 blocked(1, "barrier", WaitTarget::Barrier),
             ],
+            obs: vec![],
         };
         // P2 never arrived, so both barrier waiters wait on it alone.
         assert_eq!(
@@ -275,6 +299,7 @@ mod tests {
             events_processed: 1,
             nprocs: 1,
             blocked: vec![],
+            obs: vec![],
         };
         assert!(SimError::PastEvent { at: 10, now: 50 }
             .to_string()

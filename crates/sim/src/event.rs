@@ -414,6 +414,9 @@ impl CalendarQueue {
 pub struct ShardedQueue {
     shards: Vec<CalendarQueue>,
     next_seq: u64,
+    /// Host-metrics flag, cached at construction (`SimConfig::trace`
+    /// discipline: one predictable branch per push/pop, no atomic load).
+    obs: bool,
 }
 
 impl fmt::Debug for ShardedQueue {
@@ -431,6 +434,7 @@ impl ShardedQueue {
         ShardedQueue {
             shards: (0..nshards.max(1)).map(|_| CalendarQueue::new()).collect(),
             next_seq: 0,
+            obs: wwt_obs::enabled(),
         }
     }
 
@@ -446,6 +450,14 @@ impl ShardedQueue {
         self.next_seq += 1;
         let shard = shard.min(self.shards.len() - 1);
         self.shards[shard].push(time, seq, action);
+        if self.obs {
+            wwt_obs::shard_count(wwt_obs::ShardCtr::SimEventsPushed, shard, 1);
+            wwt_obs::shard_max(
+                wwt_obs::ShardGauge::SimQueueDepthHwm,
+                shard,
+                self.shards[shard].len() as u64,
+            );
+        }
     }
 
     /// Schedules an engine-global `action` (no processor affinity) on
@@ -458,7 +470,11 @@ impl ShardedQueue {
     /// `(time, seq)` merge across shard heads.
     pub fn pop(&mut self) -> Option<Event> {
         if self.shards.len() == 1 {
-            return self.shards[0].pop();
+            let e = self.shards[0].pop();
+            if self.obs && e.is_some() {
+                wwt_obs::shard_count(wwt_obs::ShardCtr::SimEventsPopped, 0, 1);
+            }
+            return e;
         }
         let mut best: Option<(Cycles, u64, usize)> = None;
         for (i, shard) in self.shards.iter_mut().enumerate() {
@@ -469,6 +485,9 @@ impl ShardedQueue {
             }
         }
         let (_, _, i) = best?;
+        if self.obs {
+            wwt_obs::shard_count(wwt_obs::ShardCtr::SimEventsPopped, i, 1);
+        }
         self.shards[i].pop()
     }
 

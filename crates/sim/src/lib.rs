@@ -74,3 +74,8 @@ pub use trace::{
     TraceWhat,
 };
 pub use wait::{CellPool, WaitCell};
+
+/// Host-side self-observability (re-exported from `wwt-obs`): the metrics
+/// registry the engine hot paths report into, plus the flight recorder
+/// attached to [`StallReport::obs`].
+pub use wwt_obs as obs;

@@ -450,6 +450,10 @@ fn shard_main(ctx: ShardCtx<'_>) {
     // If this worker unwinds (an actor panicked), free the peers parked at
     // the barrier so the run propagates the panic instead of deadlocking.
     let _poison = PoisonOnPanic(ctx.barrier);
+    // Host-metrics flag, cached once per run (`SimConfig::trace`
+    // discipline). Timing uses host wall clocks and never feeds back into
+    // simulated state, so determinism is untouched.
+    let obs = wwt_obs::enabled();
     struct Owned {
         proc: usize,
         actor: Box<dyn Actor>,
@@ -486,11 +490,18 @@ fn shard_main(ctx: ShardCtx<'_>) {
         o.actor.on_start(&mut cpu);
         o.stat.clock = cpu.clock;
     }
-    distribute(ctx.nprocs, ctx.nshards, &mut staged, ctx.mailboxes);
+    distribute(
+        ctx.nprocs,
+        ctx.nshards,
+        ctx.shard,
+        obs,
+        &mut staged,
+        ctx.mailboxes,
+    );
     // Every shard's start-of-run sends must be in the mailboxes before
     // anyone merges, or a fast shard could drain its inbox while a slow
     // one is still distributing — missing messages from round one.
-    if ctx.barrier.wait().is_err() {
+    if obs_wait(ctx.barrier, obs, ctx.shard).is_err() {
         return;
     }
 
@@ -498,7 +509,7 @@ fn shard_main(ctx: ShardCtx<'_>) {
         // 1. Merge the boundary exchange into the local queue.
         queue.extend(ctx.mailboxes[ctx.shard].lock().unwrap().drain(..));
         // 2. Everyone has merged; per-round accumulators are reset.
-        if ctx.barrier.wait().is_err() {
+        if obs_wait(ctx.barrier, obs, ctx.shard).is_err() {
             return;
         }
         // 3. Publish this shard's horizon and load.
@@ -507,7 +518,7 @@ fn shard_main(ctx: ShardCtx<'_>) {
         ctx.round_pending
             .fetch_add(queue.len() as u64, Ordering::SeqCst);
         // 4. Everyone has published.
-        if ctx.barrier.wait().is_err() {
+        if obs_wait(ctx.barrier, obs, ctx.shard).is_err() {
             return;
         }
         let pending = ctx.round_pending.load(Ordering::SeqCst);
@@ -518,6 +529,7 @@ fn shard_main(ctx: ShardCtx<'_>) {
             .round_min
             .load(Ordering::SeqCst)
             .saturating_add(ctx.quantum);
+        let busy_start = obs.then(std::time::Instant::now);
         // 5. Conservative advance: process everything strictly inside the
         // window. Nothing in flight can land in it (lookahead ≥ quantum).
         while queue.peek().is_some_and(|e| e.at < window_end) {
@@ -545,10 +557,25 @@ fn shard_main(ctx: ShardCtx<'_>) {
             );
             o.stat.clock = cpu.clock;
         }
-        distribute(ctx.nprocs, ctx.nshards, &mut staged, ctx.mailboxes);
+        distribute(
+            ctx.nprocs,
+            ctx.nshards,
+            ctx.shard,
+            obs,
+            &mut staged,
+            ctx.mailboxes,
+        );
+        if let Some(start) = busy_start {
+            wwt_obs::shard_count(
+                wwt_obs::ShardCtr::ParBusyNs,
+                ctx.shard,
+                start.elapsed().as_nanos() as u64,
+            );
+            wwt_obs::shard_count(wwt_obs::ShardCtr::ParQuanta, ctx.shard, 1);
+        }
         // 6. Everyone has exchanged; shard 0 resets the accumulators for
         // the next round (no shard can publish again until barrier 2).
-        if ctx.barrier.wait().is_err() {
+        if obs_wait(ctx.barrier, obs, ctx.shard).is_err() {
             return;
         }
         if ctx.shard == 0 {
@@ -563,18 +590,46 @@ fn shard_main(ctx: ShardCtx<'_>) {
     }
 }
 
+/// A barrier wait that, with host metrics live, also charges the wall
+/// time spent parked to the shard's barrier-wait counter.
+fn obs_wait(barrier: &QuantumBarrier, obs: bool, shard: usize) -> Result<(), Poisoned> {
+    if !obs {
+        return barrier.wait();
+    }
+    let start = std::time::Instant::now();
+    let r = barrier.wait();
+    wwt_obs::shard_count(
+        wwt_obs::ShardCtr::ParBarrierWaitNs,
+        shard,
+        start.elapsed().as_nanos() as u64,
+    );
+    r
+}
+
 /// Routes staged sends to their destination shards' mailboxes (self-sends
 /// included: every message crosses the boundary, so delivery order never
 /// depends on the shard layout).
 fn distribute(
     nprocs: usize,
     nshards: usize,
+    src_shard: usize,
+    obs: bool,
     staged: &mut Vec<Envelope>,
     mailboxes: &[Mutex<Vec<Envelope>>],
 ) {
+    let (mut same, mut cross) = (0u64, 0u64);
     for env in staged.drain(..) {
         let dest_shard = env.dest.index() * nshards / nprocs;
+        if dest_shard == src_shard {
+            same += 1;
+        } else {
+            cross += 1;
+        }
         mailboxes[dest_shard].lock().unwrap().push(env);
+    }
+    if obs {
+        wwt_obs::count(wwt_obs::Ctr::ParMsgsSameShard, same);
+        wwt_obs::count(wwt_obs::Ctr::ParMsgsCrossShard, cross);
     }
 }
 
@@ -722,6 +777,29 @@ mod tests {
     #[test]
     fn repeated_runs_are_identical() {
         assert_eq!(ring_run(5, 4, 100, 4), ring_run(5, 4, 100, 4));
+    }
+
+    #[test]
+    fn host_metrics_never_change_results() {
+        let base = ring_run(8, 2, 100, 5);
+        wwt_obs::enable();
+        // The registry is process-global and other tests run concurrently,
+        // so assert deltas (>=), not absolute values.
+        let q0: u64 = (0..2)
+            .map(|s| wwt_obs::shard_counter(wwt_obs::ShardCtr::ParQuanta, s))
+            .sum();
+        let m0 = wwt_obs::counter(wwt_obs::Ctr::ParMsgsSameShard)
+            + wwt_obs::counter(wwt_obs::Ctr::ParMsgsCrossShard);
+        let observed = ring_run(8, 2, 100, 5);
+        wwt_obs::disable();
+        assert_eq!(base, observed, "--obs changed a ParEngine result");
+        let q1: u64 = (0..2)
+            .map(|s| wwt_obs::shard_counter(wwt_obs::ShardCtr::ParQuanta, s))
+            .sum();
+        let m1 = wwt_obs::counter(wwt_obs::Ctr::ParMsgsSameShard)
+            + wwt_obs::counter(wwt_obs::Ctr::ParMsgsCrossShard);
+        assert!(q1 > q0, "quantum windows were counted");
+        assert!(m1 >= m0 + base.delivered(), "mailbox traffic was counted");
     }
 
     #[test]

@@ -141,15 +141,27 @@ impl CellPool {
     /// Takes a fresh, incomplete cell, reusing a recycled allocation when
     /// one is available.
     pub fn take(&self) -> WaitCell {
-        self.free.borrow_mut().pop().unwrap_or_default()
+        match self.free.borrow_mut().pop() {
+            Some(cell) => {
+                wwt_obs::count(wwt_obs::Ctr::SimPoolTakeRecycled, 1);
+                cell
+            }
+            None => {
+                wwt_obs::count(wwt_obs::Ctr::SimPoolTakeFresh, 1);
+                WaitCell::default()
+            }
+        }
     }
 
     /// Recycles `cell` if this is the last live handle to it (and no
     /// waiter is registered); otherwise the handle is just dropped.
     pub fn put(&self, cell: WaitCell) {
         if Rc::strong_count(&cell.inner) == 1 && cell.inner.waiter.get().is_none() {
+            wwt_obs::count(wwt_obs::Ctr::SimPoolPutRecycled, 1);
             cell.reset();
             self.free.borrow_mut().push(cell);
+        } else {
+            wwt_obs::count(wwt_obs::Ctr::SimPoolPutDropped, 1);
         }
     }
 }
