@@ -140,10 +140,12 @@ fn migrate(rec: &str) -> Option<String> {
 
 /// Appends `record` to the log at `path`, migrating or dropping old
 /// records and compacting to [`KEEP_PER_KEY`] per configuration key.
+/// The rewrite is atomic (temp + rename via [`wwt_core::store`]): a run
+/// killed mid-append leaves the previous log intact, never a truncated
+/// document. A truncated or foreign file found on disk — a crash from a
+/// build predating atomic appends, a hand edit — starts the log over
+/// with just the new record rather than erroring forever.
 pub fn append_bench_record(path: &str, record: &str) -> std::io::Result<()> {
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        std::fs::create_dir_all(dir)?;
-    }
     let mut records: Vec<String> = std::fs::read_to_string(path)
         .ok()
         .and_then(|s| {
@@ -178,7 +180,10 @@ pub fn append_bench_record(path: &str, record: &str) -> std::io::Result<()> {
         .filter(|(_, &k)| k)
         .map(|(r, _)| r.as_str())
         .collect();
-    std::fs::write(path, format!("{{\"runs\":[\n{}]}}\n", kept.join(",\n")))
+    wwt_core::store::atomic_write(
+        path,
+        format!("{{\"runs\":[\n{}]}}\n", kept.join(",\n")).as_bytes(),
+    )
 }
 
 #[cfg(test)]
@@ -333,6 +338,34 @@ mod tests {
         assert!(s.contains("\"sim_threads\":1,\"cache\":true"), "{s}");
         assert_eq!(s.matches("\"sim_threads\":").count(), 2, "{s}");
         assert!(!s.contains("\"schema\":2"), "{s}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_log_recovers_with_just_the_new_record() {
+        let (dir, path) = temp_log("truncated");
+        append_bench_record(&path, SCHEMA3).unwrap();
+        let healthy = std::fs::read_to_string(&path).unwrap();
+        // A crash mid-write under the old non-atomic scheme could leave
+        // any prefix of the document. Every truncation point must
+        // recover: the next append starts the log over with its record.
+        for cut in [0, 1, healthy.len() / 2, healthy.len() - 2] {
+            std::fs::write(&path, &healthy[..cut]).unwrap();
+            append_bench_record(&path, SCHEMA3).unwrap();
+            let s = std::fs::read_to_string(&path).unwrap();
+            assert_eq!(s.matches("\"schema\":3").count(), 1, "cut at {cut}: {s}");
+            assert!(s.starts_with("{\"runs\":[\n"), "cut at {cut}: {s}");
+            assert!(s.ends_with("]}\n"), "cut at {cut}: {s}");
+            assert_eq!(s.matches('{').count(), s.matches('}').count());
+        }
+        // And no temp files linger from the atomic rewrites.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().into_string().unwrap())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "leaked temp files: {stray:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -8,7 +8,8 @@
 //!             [--json OUT.json] [--faults SPEC] [--arch SPEC]
 //!             [--arch-sweep KEY=V1,V2,...] [--sweep-delta] [--diff A B]
 //!             [--diff-json OUT.json] [--obs] [--obs-json OUT.json]
-//!             [--obs-prom OUT.txt] [experiment-id ...]
+//!             [--obs-prom OUT.txt] [--fsck] [--retries N]
+//!             [--store-faults SPEC] [experiment-id ...]
 //! ```
 //!
 //! With no experiment ids, every experiment runs. An id is either an
@@ -31,7 +32,27 @@
 //!
 //! Runs are cached under `results/cache/`, keyed by (experiment, scale,
 //! engine-config hash): a repeated invocation with unchanged inputs
-//! replays from disk. `--no-cache` bypasses the cache entirely.
+//! replays from disk. `--no-cache` bypasses the cache entirely. Entries
+//! live in checksummed `wwt-store` containers committed atomically, so a
+//! damaged entry (torn write, bit rot, a crashed writer's leftovers) is a
+//! warned miss that re-simulates — never wrong output. `--fsck` runs a
+//! store scan first: corrupt entries are quarantined under
+//! `results/cache/quarantine/` and orphaned temp/stale lock files are
+//! garbage-collected, with a report on stderr.
+//!
+//! Transiently-failed grid jobs (watchdog expiry) are retried with
+//! exponential backoff — `--retries N` bounds the attempts (default 2,
+//! `--retries 0` disables). A panicking experiment is caught at the job
+//! boundary and reported as a failed cell; the grid always finishes and
+//! summarizes unrecovered cells on stderr.
+//!
+//! `--store-faults SPEC` (e.g. `seed=7,torn=0.2,flip=0.2,eio=0.2,
+//! rename=0.2`; also readable from the `WWT_STORE_FAULTS` env var) arms
+//! the deterministic *host*-fault harness on the result store: commits
+//! tear at a seeded byte, flip a bit, or fail their rename, and reads
+//! hit one transient `EIO` per path. Every mode degrades to a warned
+//! miss plus re-simulation, so stdout stays byte-identical — the CI
+//! crash-recovery smoke drives exactly this path.
 //!
 //! `--faults SPEC` runs every experiment under a deterministic
 //! fault-injection plan, e.g.
@@ -130,6 +151,8 @@ fn usage() -> ! {
          [--arch preset[,key=value,...]] [--arch-sweep key=v1,v2,...]... \
          [--sweep-delta] [--diff A B] [--diff-json OUT.json] \
          [--obs] [--obs-json OUT.json] [--obs-prom OUT.txt] \
+         [--fsck] [--retries N] \
+         [--store-faults seed=S,torn=P,flip=P,eio=P,rename=P] \
          [experiment-id ...]"
     );
     eprintln!(
@@ -212,11 +235,19 @@ fn resolve_diff_side(
 }
 
 /// One-line end-of-run cache effectiveness summary on stderr
-/// (always-on counters, so this works without `--obs`).
+/// (always-on counters, so this works without `--obs`). Deduplicated
+/// corrupt-entry warnings surface here as a suppressed-repeats count, so
+/// a quiet stderr is never mistaken for a healthy store.
 fn cache_summary() {
     let (hits, misses, bytes, corrupt) = wwt_core::cache::stats();
+    let suppressed = wwt_core::store::suppressed_warnings();
+    let suffix = if suppressed > 0 {
+        format!(" ({suppressed} repeat warnings suppressed)")
+    } else {
+        String::new()
+    };
     eprintln!(
-        "cache: {hits} hits, {misses} misses, {bytes} bytes read, {corrupt} corrupt entries recovered"
+        "cache: {hits} hits, {misses} misses, {bytes} bytes read, {corrupt} corrupt entries recovered{suffix}"
     );
 }
 
@@ -297,6 +328,8 @@ fn main() {
     let mut obs = false;
     let mut obs_json_out: Option<String> = None;
     let mut obs_prom_out: Option<String> = None;
+    let mut fsck = false;
+    let mut retries = 2u32;
     let mut selectors: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -361,6 +394,23 @@ fn main() {
                 diff = Some((a, b));
             }
             "--diff-json" => diff_json_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--fsck" => fsck = true,
+            "--retries" => {
+                retries = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--store-faults" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                match wwt_core::store::StoreFaults::parse(spec) {
+                    Ok(f) => wwt_core::store::set_global_faults(Some(f)),
+                    Err(err) => {
+                        eprintln!("invalid --store-faults spec: {err}");
+                        usage();
+                    }
+                }
+            }
             "--obs" => obs = true,
             "--obs-json" => {
                 obs = true;
@@ -404,7 +454,33 @@ fn main() {
         arch,
         phases: false,
         sim_threads,
+        retries,
+        ..RunnerConfig::new(scale)
     };
+
+    if fsck {
+        // Scan-and-repair the store before anything reads it: corrupt
+        // entries move to quarantine/ (each then re-simulates as a plain
+        // miss), crash leftovers are swept. The scan reads what is really
+        // on disk — an armed --store-faults plan does not apply to it.
+        let Some(dir) = &cfg.cache_dir else {
+            eprintln!("--fsck needs the run cache; drop --no-cache");
+            std::process::exit(2);
+        };
+        let report = wwt_core::store::Store::with_config(
+            dir.clone(),
+            wwt_core::store::StoreConfig::default(),
+        )
+        .fsck();
+        eprintln!("{report}");
+        // Quarantined entries are corrupt entries recovered (the grid
+        // re-simulates and recommits them): surface them in the always-on
+        // cache counters so the end-of-run summary reflects the repair.
+        wwt_core::obs::count_always(
+            wwt_core::obs::Ctr::CacheCorruptRecovered,
+            report.quarantined.len() as u64,
+        );
+    }
 
     if let Some((spec_a, spec_b)) = diff {
         // Diff mode: stdout carries only the rendered diff (a self-diff
@@ -634,10 +710,10 @@ fn main() {
         );
         // The self-profile artifact rides along with the grid's timing
         // record (same best-effort discipline as BENCH_grid.json).
+        // Atomic temp + rename: a killed run leaves the previous
+        // snapshot file intact, never a truncated one.
         let path = "results/OBS_grid.json";
-        if let Err(err) =
-            std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &snaps_json))
-        {
+        if let Err(err) = wwt_core::store::atomic_write(path, snaps_json.as_bytes()) {
             eprintln!("could not record {path}: {err}");
         } else {
             eprintln!("wrote obs snapshots {path}");

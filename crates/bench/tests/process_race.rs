@@ -1,0 +1,85 @@
+//! Cross-process store discipline: two `make_tables` processes racing
+//! the same cold cache key must simulate it once between them, print
+//! identical reports, and leave a store that fsck calls clean.
+//!
+//! Ignored by default: it spawns two full `make_tables` processes (via
+//! `CARGO_BIN_EXE_make_tables`), which is slow next to the unit suites.
+//! Run with `cargo test -p wwt-bench -- --ignored`.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn make_tables(workdir: &Path, extra: &[&str]) -> std::process::Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_make_tables"));
+    // The run cache lives at results/cache relative to the working
+    // directory, so pointing both processes at one scratch dir makes
+    // them share (and race) a store.
+    cmd.current_dir(workdir)
+        .args(["--test-scale", "--jobs", "1", "gauss-mp"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped());
+    cmd.spawn().expect("spawning make_tables")
+}
+
+fn text(out: &Output) -> (String, String) {
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+#[ignore = "spawns two make_tables processes; run with -- --ignored"]
+fn two_processes_racing_one_key_simulate_once_and_agree() {
+    let dir = std::env::temp_dir().join(format!("wwt-proc-race-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let a = make_tables(&dir, &[]);
+    let b = make_tables(&dir, &[]);
+    let a = a.wait_with_output().unwrap();
+    let b = b.wait_with_output().unwrap();
+    assert!(a.status.success(), "first racer failed: {:?}", text(&a).1);
+    assert!(b.status.success(), "second racer failed: {:?}", text(&b).1);
+
+    let (stdout_a, stderr_a) = text(&a);
+    let (stdout_b, stderr_b) = text(&b);
+    assert_eq!(
+        stdout_a, stdout_b,
+        "racing processes must print identical reports"
+    );
+    assert!(stdout_a.contains("### gauss-mp"));
+
+    // The per-experiment timing line carries "(cached)" when the run
+    // replayed from the store: the lock made exactly one process
+    // simulate, and the loser replayed the winner's bytes. (If the
+    // winner finished before the loser even started, both observations
+    // still hold.)
+    let cached = |stderr: &str| {
+        stderr
+            .lines()
+            .any(|l| l.starts_with("timing: gauss-mp") && l.contains("(cached)"))
+    };
+    assert!(
+        cached(&stderr_a) || cached(&stderr_b),
+        "at least one racer must replay from the store\nA: {stderr_a}\nB: {stderr_b}"
+    );
+    assert!(
+        !(cached(&stderr_a) && cached(&stderr_b)),
+        "someone has to have simulated the key\nA: {stderr_a}\nB: {stderr_b}"
+    );
+
+    // A follow-up --fsck invocation finds a healthy store: nothing to
+    // quarantine, no leftover temp or lock files — and the same report.
+    let fsck = make_tables(&dir, &["--fsck"]).wait_with_output().unwrap();
+    let (stdout_f, stderr_f) = text(&fsck);
+    assert!(fsck.status.success(), "{stderr_f}");
+    assert_eq!(stdout_f, stdout_a, "fsck must not change the report");
+    assert!(
+        stderr_f.contains("0 quarantined, 0 tmp + 0 stale lock files swept"),
+        "store left dirty: {stderr_f}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

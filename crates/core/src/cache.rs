@@ -23,10 +23,19 @@
 //! prefixed blobs for rendered artifacts. Any parse failure — truncation,
 //! version skew, hand-editing — is treated as a cache miss, never an
 //! error.
+//!
+//! Since format version 3 the serialized text is the *payload* of a
+//! `wwt-store` entry: the store wraps it in a checksummed container,
+//! commits it atomically (temp + rename + dir fsync), and verifies the
+//! checksum on every read, so torn writes and bit rot surface as typed
+//! corruption — a warned miss — instead of a silent misparse. This module
+//! keeps the keying and (de)serialization; all file handling lives in
+//! [`wwt_store`].
 
 use std::fmt::Write as _;
-use std::fs;
 use std::path::{Path, PathBuf};
+
+use wwt_store::{fnv1a, warn_once, ReadError, Store};
 
 use wwt_arch::ArchParams;
 
@@ -37,17 +46,10 @@ use crate::table::{BreakdownTable, EventTable, Row};
 /// Bump when the serialization format or the meaning of cached fields
 /// changes; old entries then miss instead of misparsing.
 /// Version 2: phase-profile blobs, percentile fields in metrics blobs.
-const FORMAT_VERSION: u32 = 2;
-
-/// 64-bit FNV-1a.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// Version 3: entries live inside checksummed `wwt-store` containers
+/// (pre-store files keep their old names and are simply never read;
+/// `--fsck` quarantines them).
+const FORMAT_VERSION: u32 = 3;
 
 /// The cache key hash: experiment, scale, full engine config, the full
 /// hardware base, both machines' full configurations, and the format
@@ -76,6 +78,23 @@ pub fn config_hash(
     fnv1a(key.as_bytes())
 }
 
+/// The store entry name (file name within the cache directory) for one
+/// (experiment, scale, config, arch) tuple — also the name the runner
+/// locks while simulating the point.
+pub fn entry_name(
+    e: Experiment,
+    scale: Scale,
+    sim: &wwt_sim::SimConfig,
+    arch: &ArchParams,
+) -> String {
+    format!(
+        "{}-{}-{:016x}.run",
+        e.id(),
+        scale.name(),
+        config_hash(e, scale, sim, arch)
+    )
+}
+
 /// The cache file path for one (experiment, scale, config, arch) tuple.
 pub fn entry_path(
     dir: &Path,
@@ -84,12 +103,7 @@ pub fn entry_path(
     sim: &wwt_sim::SimConfig,
     arch: &ArchParams,
 ) -> PathBuf {
-    dir.join(format!(
-        "{}-{}-{:016x}.run",
-        e.id(),
-        scale.name(),
-        config_hash(e, scale, sim, arch)
-    ))
+    dir.join(entry_name(e, scale, sim, arch))
 }
 
 fn push_f64(out: &mut String, tag: &str, v: f64) {
@@ -176,8 +190,10 @@ fn serialize(a: &ExperimentArtifacts) -> Option<String> {
     Some(out)
 }
 
-/// Persists one artifact set. Best-effort: errors (and unrepresentable
-/// data) are reported but expected to be ignored by the caller.
+/// Persists one artifact set through the store: checksummed container,
+/// atomic temp-write + rename + dir fsync, no temp file left behind on
+/// failure. Best-effort: errors (and unrepresentable data) are reported
+/// but expected to be ignored by the caller.
 pub fn save(
     dir: &Path,
     a: &ExperimentArtifacts,
@@ -187,12 +203,8 @@ pub fn save(
     let Some(body) = serialize(a) else {
         return Ok(()); // unrepresentable: skip caching, never fail the run
     };
-    fs::create_dir_all(dir)?;
-    let path = entry_path(dir, a.experiment, a.summary.scale, sim, arch);
-    // Write-then-rename so a concurrent reader never sees a torn entry.
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    fs::write(&tmp, body)?;
-    fs::rename(&tmp, &path)
+    let name = entry_name(a.experiment, a.summary.scale, sim, arch);
+    Store::open(dir).commit(&name, body.as_bytes())
 }
 
 /// A forgiving cursor over the cache text. Every accessor returns
@@ -386,7 +398,7 @@ fn parse(text: &str, e: Experiment, scale: Scale) -> Option<ExperimentArtifacts>
 /// recovering the experiment and scale from the entry header instead of
 /// requiring the caller to know the key. `None` on any damage.
 pub fn load_path(path: &Path) -> Option<ExperimentArtifacts> {
-    let text = fs::read_to_string(path).ok()?;
+    let text = String::from_utf8(wwt_store::read_entry_file(path)?).ok()?;
     let mut lines = text.lines();
     let _header = lines.next()?;
     let e = Experiment::from_id(lines.next()?.strip_prefix("experiment ")?)?;
@@ -410,26 +422,78 @@ pub fn load(
     sim: &wwt_sim::SimConfig,
     arch: &ArchParams,
 ) -> Option<ExperimentArtifacts> {
-    let path = entry_path(dir, e, scale, sim, arch);
+    load_counting(dir, e, scale, sim, arch, true)
+}
+
+/// [`load`] for the runner's post-lock re-check: a hit still counts (the
+/// race loser replays the winner's entry), but a miss is not re-counted —
+/// the lookup already counted its miss before taking the writer lock, and
+/// one cold cell is one miss.
+pub fn load_recheck(
+    dir: &Path,
+    e: Experiment,
+    scale: Scale,
+    sim: &wwt_sim::SimConfig,
+    arch: &ArchParams,
+) -> Option<ExperimentArtifacts> {
+    load_counting(dir, e, scale, sim, arch, false)
+}
+
+fn load_counting(
+    dir: &Path,
+    e: Experiment,
+    scale: Scale,
+    sim: &wwt_sim::SimConfig,
+    arch: &ArchParams,
+    count_miss: bool,
+) -> Option<ExperimentArtifacts> {
+    let name = entry_name(e, scale, sim, arch);
+    let path = dir.join(&name);
     // Cache counters are always-on (a few ticks per experiment, nowhere
     // near a hot path): the grid runner's end-of-run cache summary works
     // without `--obs`.
     use wwt_obs::{count_always, Ctr};
-    let text = match fs::read_to_string(&path) {
-        Ok(text) => text,
-        Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+    // Repeated warnings for the same damaged path are deduplicated (the
+    // first prints, repeats only count): a grid retries and re-reads, and
+    // one bad entry must not flood stderr.
+    let damaged = |why: &str| {
+        let first = warn_once(
+            &path.to_string_lossy(),
+            &format!("run cache entry {} is {why}; re-running", path.display()),
+        );
+        if count_miss {
             count_always(Ctr::CacheMisses, 1);
-            return None;
         }
-        Err(err) => {
-            eprintln!(
-                "warning: run cache entry {} is unreadable ({err}); re-running",
-                path.display()
-            );
-            count_always(Ctr::CacheMisses, 1);
+        // One corruption event per path: the runner re-reads a damaged
+        // entry (miss check, then the post-lock re-check) before
+        // recommitting, and that is still a single recovery.
+        if first {
             count_always(Ctr::CacheCorruptRecovered, 1);
+        }
+    };
+    let payload = match Store::open(dir).read(&name) {
+        Ok(payload) => payload,
+        Err(ReadError::NotFound) => {
+            if count_miss {
+                count_always(Ctr::CacheMisses, 1);
+            }
             return None;
         }
+        Err(err @ ReadError::Io(_)) => {
+            // Includes injected transient EIOs: degrade to a miss — the
+            // simulator is deterministic, so re-running reproduces the
+            // exact bytes the unreadable entry held.
+            damaged(&format!("unreadable ({err})"));
+            return None;
+        }
+        Err(ReadError::Corrupt(why)) => {
+            damaged(&format!("damaged ({why})"));
+            return None;
+        }
+    };
+    let Ok(text) = String::from_utf8(payload) else {
+        damaged("damaged (payload is not UTF-8)");
+        return None;
     };
     let parsed = parse(&text, e, scale);
     match &parsed {
@@ -437,14 +501,7 @@ pub fn load(
             count_always(Ctr::CacheHits, 1);
             count_always(Ctr::CacheBytesRead, text.len() as u64);
         }
-        None => {
-            eprintln!(
-                "warning: run cache entry {} is truncated or corrupt; re-running",
-                path.display()
-            );
-            count_always(Ctr::CacheMisses, 1);
-            count_always(Ctr::CacheCorruptRecovered, 1);
-        }
+        None => damaged("truncated or corrupt"),
     }
     parsed
 }
@@ -465,6 +522,7 @@ pub fn stats() -> (u64, u64, u64, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn sample_artifacts() -> ExperimentArtifacts {
         ExperimentArtifacts {

@@ -60,4 +60,5 @@ pub use wwt_mp as mp;
 pub use wwt_obs as obs;
 pub use wwt_sim as sim;
 pub use wwt_sm as sm;
+pub use wwt_store as store;
 pub use wwt_trace as trace;

@@ -82,6 +82,13 @@ pub struct RunnerConfig {
     /// `jobs`, which parallelizes across experiments. Participates in the
     /// run-cache key through the engine configuration.
     pub sim_threads: usize,
+    /// How many times a transiently-failed job (watchdog expiry — the
+    /// stall class that can clear on a re-run) is re-attempted before its
+    /// cell is reported failed. Deterministic failures (deadlock, config
+    /// errors, panics) are never retried.
+    pub retries: u32,
+    /// Backoff before the first retry, doubling per attempt. Milliseconds.
+    pub retry_backoff_ms: u64,
 }
 
 impl RunnerConfig {
@@ -98,6 +105,8 @@ impl RunnerConfig {
             arch: ArchParams::default(),
             phases: false,
             sim_threads: 1,
+            retries: 2,
+            retry_backoff_ms: 50,
         }
     }
 
@@ -183,11 +192,32 @@ fn covers(a: &ExperimentArtifacts, cfg: &RunnerConfig) -> bool {
 }
 
 /// Runs one experiment and derives every requested artifact from the
-/// single simulation, consulting the cache first.
+/// single simulation, consulting the cache first. The job boundary is
+/// where the grid's resilience lives: a panicking experiment is caught
+/// and reported as a failed cell (never a dead grid), and transient
+/// failures are re-attempted with exponential backoff.
 fn run_one(e: Experiment, cfg: &RunnerConfig) -> ExperimentArtifacts {
     let start = Instant::now();
     wwt_obs::job_enter();
-    let art = run_one_inner(e, cfg, start);
+    let (mut art, mut transient) = run_one_caught(e, cfg, start);
+    let mut attempt = 0;
+    while transient && attempt < cfg.retries {
+        attempt += 1;
+        wwt_obs::count_always(wwt_obs::Ctr::GridJobRetries, 1);
+        eprintln!(
+            "warning: {} failed transiently ({}); retry {attempt}/{}",
+            e.id(),
+            art.summary.validation_detail,
+            cfg.retries
+        );
+        // Exponential backoff: transient stalls and IO hiccups often
+        // share a cause with their neighbors (a loaded host); spreading
+        // retries out beats hammering.
+        std::thread::sleep(std::time::Duration::from_millis(
+            cfg.retry_backoff_ms.saturating_mul(1 << (attempt - 1)),
+        ));
+        (art, transient) = run_one_caught(e, cfg, start);
+    }
     wwt_obs::job_exit();
     wwt_obs::count_always(wwt_obs::Ctr::GridExperimentsRun, 1);
     if art.from_cache {
@@ -197,21 +227,78 @@ fn run_one(e: Experiment, cfg: &RunnerConfig) -> ExperimentArtifacts {
     art
 }
 
-fn run_one_inner(e: Experiment, cfg: &RunnerConfig, start: Instant) -> ExperimentArtifacts {
+/// [`run_one_inner`] behind `catch_unwind`: a panic anywhere in the
+/// simulation or artifact derivation becomes a failed cell. The closure
+/// only touches `&`-captures and builds its state from scratch, so
+/// `AssertUnwindSafe` is sound — nothing observable survives the unwind.
+fn run_one_caught(
+    e: Experiment,
+    cfg: &RunnerConfig,
+    start: Instant,
+) -> (ExperimentArtifacts, bool) {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_one_inner(e, cfg, start)
+    })) {
+        Ok(result) => result,
+        Err(payload) => {
+            wwt_obs::count_always(wwt_obs::Ctr::GridJobPanics, 1);
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            // Panics are deterministic bugs, not transient weather:
+            // report the cell failed, don't retry.
+            (panic_artifacts(e, cfg, &msg, start), false)
+        }
+    }
+}
+
+/// Runs the job once. The second return value is whether a failure is
+/// *transient* — worth retrying.
+fn run_one_inner(e: Experiment, cfg: &RunnerConfig, start: Instant) -> (ExperimentArtifacts, bool) {
+    // Test hook: panic inside the job for the named experiment, proving
+    // the catch_unwind boundary turns panics into failed cells.
+    if std::env::var("WWT_TEST_PANIC_EXPERIMENT").is_ok_and(|id| id == e.id()) {
+        panic!("injected test panic in {}", e.id());
+    }
     let sim = cfg.sim_config();
+    let fixup = |mut hit: ExperimentArtifacts| {
+        hit.wall_secs = start.elapsed().as_secs_f64();
+        hit.from_cache = true;
+        hit
+    };
+    // The lock guard must outlive the commit in `cache::save`, so it
+    // lives at function scope.
+    let _write_lock;
     if let Some(dir) = &cfg.cache_dir {
-        if let Some(mut hit) = cache::load(dir, e, cfg.scale, &sim, &cfg.arch) {
-            if covers(&hit, cfg) {
-                hit.wall_secs = start.elapsed().as_secs_f64();
-                hit.from_cache = true;
-                return hit;
-            }
+        if let Some(hit) =
+            cache::load(dir, e, cfg.scale, &sim, &cfg.arch).filter(|hit| covers(hit, cfg))
+        {
+            return (fixup(hit), false);
+        }
+        // Miss: take the per-entry writer lock so concurrent runners
+        // (worker threads or separate processes) simulate this point
+        // once. Whoever loses the race blocks here, then replays the
+        // winner's entry on the re-check below.
+        let name = cache::entry_name(e, cfg.scale, &sim, &cfg.arch);
+        _write_lock = wwt_store::Store::open(dir).lock(&name);
+        if let Some(hit) =
+            cache::load_recheck(dir, e, cfg.scale, &sim, &cfg.arch).filter(|hit| covers(hit, cfg))
+        {
+            return (fixup(hit), false);
         }
     }
 
     let out = match try_run_experiment_with_arch(e, cfg.scale, sim, cfg.arch) {
         Ok(out) => out,
-        Err(err) => return failure_artifacts(e, cfg, &err, start),
+        Err(err) => {
+            // Watchdog expiry is the stall class that can clear on a
+            // re-run (it is a bound on progress, not proof of a cycle);
+            // deadlocks and config errors are deterministic.
+            let transient = matches!(err, wwt_sim::SimError::Livelock { .. });
+            return (failure_artifacts(e, cfg, &err, start), transient);
+        }
     };
     let timeline = cfg.timeline.then(|| {
         let bucket = timeline_bucket(cfg.scale);
@@ -244,10 +331,44 @@ fn run_one_inner(e: Experiment, cfg: &RunnerConfig, start: Instant) -> Experimen
         from_cache: false,
     };
     if let Some(dir) = &cfg.cache_dir {
-        // Best-effort: a full disk or read-only tree must not fail the run.
+        // Best-effort: a full disk or read-only tree must not fail the
+        // run. The write lock is still held here, so concurrent racers
+        // observe either no entry or this complete commit.
         let _ = cache::save(dir, &art, &sim, &cfg.arch);
     }
-    art
+    (art, false)
+}
+
+/// Artifacts for an experiment whose job panicked: the panic message
+/// lands in `validation_detail` behind the engine-failure prefix, so the
+/// failed cell flows through reporting (and `engine_failed()`) exactly
+/// like a stalled simulation. Never cached, never retried.
+fn panic_artifacts(
+    e: Experiment,
+    cfg: &RunnerConfig,
+    msg: &str,
+    start: Instant,
+) -> ExperimentArtifacts {
+    ExperimentArtifacts {
+        experiment: e,
+        summary: ExperimentSummary {
+            experiment: e,
+            scale: cfg.scale,
+            validation_passed: false,
+            validation_detail: format!("{ENGINE_FAILURE_PREFIX}panic: {msg}"),
+            stats: Vec::new(),
+            imbalance: 0.0,
+            wait_fraction: 0.0,
+            tables: Vec::new(),
+            events: Vec::new(),
+        },
+        timeline: None,
+        #[cfg(feature = "trace-json")]
+        trace: None,
+        phases: None,
+        wall_secs: start.elapsed().as_secs_f64(),
+        from_cache: false,
+    }
 }
 
 /// Artifacts for an experiment whose simulation stalled (deadlock,
@@ -290,35 +411,54 @@ fn failure_artifacts(
 /// was scheduled.
 pub fn run_grid(experiments: &[Experiment], cfg: &RunnerConfig) -> Vec<ExperimentArtifacts> {
     let jobs = cfg.jobs.clamp(1, experiments.len().max(1));
-    if jobs == 1 {
-        return experiments.iter().map(|&e| run_one(e, cfg)).collect();
-    }
-    // The engine is single-threaded by design (Rc/RefCell target tasks),
-    // so parallelize across experiments: a shared index is the work
-    // queue, and each result lands in its input slot.
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<ExperimentArtifacts>>> =
-        experiments.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..jobs {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&e) = experiments.get(i) else {
-                    break;
-                };
-                let art = run_one(e, cfg);
-                *slots[i].lock().unwrap() = Some(art);
-            });
+    let arts: Vec<ExperimentArtifacts> = if jobs == 1 {
+        experiments.iter().map(|&e| run_one(e, cfg)).collect()
+    } else {
+        // The engine is single-threaded by design (Rc/RefCell target
+        // tasks), so parallelize across experiments: a shared index is
+        // the work queue, and each result lands in its input slot.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ExperimentArtifacts>>> =
+            experiments.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&e) = experiments.get(i) else {
+                        break;
+                    };
+                    let art = run_one(e, cfg);
+                    *slots[i].lock().unwrap() = Some(art);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("every slot is filled before the scope joins")
+            })
+            .collect()
+    };
+    // Close the grid with a stderr summary of every cell that stayed
+    // failed after retries — one place to look instead of scrolling back
+    // through interleaved worker output. Stdout stays artifact-only.
+    let failed: Vec<&ExperimentArtifacts> =
+        arts.iter().filter(|a| a.summary.engine_failed()).collect();
+    if !failed.is_empty() {
+        eprintln!(
+            "grid: {}/{} cells failed after {} retr{}:",
+            failed.len(),
+            arts.len(),
+            cfg.retries,
+            if cfg.retries == 1 { "y" } else { "ies" }
+        );
+        for a in &failed {
+            eprintln!("  {}: {}", a.experiment.id(), a.summary.validation_detail);
         }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .unwrap()
-                .expect("every slot is filled before the scope joins")
-        })
-        .collect()
+    }
+    arts
 }
 
 /// Renders one experiment's report section (validation, stats, load

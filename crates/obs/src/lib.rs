@@ -82,11 +82,26 @@ pub enum Ctr {
     GridExperimentsRun,
     /// Of those, how many replayed from the run cache.
     GridExperimentsCached,
+    /// Grid jobs re-attempted after a transient failure (store IO error
+    /// or watchdog expiry).
+    GridJobRetries,
+    /// Grid jobs whose experiment panicked (caught at the job boundary
+    /// and reported as a failed cell).
+    GridJobPanics,
+    /// Corrupt store entries moved to quarantine by an fsck pass.
+    StoreFsckQuarantined,
+    /// Orphaned temp files and stale lock files garbage-collected by an
+    /// fsck pass.
+    StoreFsckSwept,
+    /// Stale writer locks broken and taken over.
+    StoreLockTakeovers,
+    /// Host faults the `StoreFaults` harness actually injected.
+    StoreFaultsInjected,
 }
 
 impl Ctr {
     /// Every counter, in index order.
-    pub const ALL: [Ctr; 14] = [
+    pub const ALL: [Ctr; 20] = [
         Ctr::SimCallInline,
         Ctr::SimCallBoxed,
         Ctr::SimPoolTakeRecycled,
@@ -101,6 +116,12 @@ impl Ctr {
         Ctr::CacheCorruptRecovered,
         Ctr::GridExperimentsRun,
         Ctr::GridExperimentsCached,
+        Ctr::GridJobRetries,
+        Ctr::GridJobPanics,
+        Ctr::StoreFsckQuarantined,
+        Ctr::StoreFsckSwept,
+        Ctr::StoreLockTakeovers,
+        Ctr::StoreFaultsInjected,
     ];
 
     /// Stable snake_case name (the JSON/Prometheus key).
@@ -120,6 +141,12 @@ impl Ctr {
             Ctr::CacheCorruptRecovered => "cache_corrupt_recovered",
             Ctr::GridExperimentsRun => "grid_experiments_run",
             Ctr::GridExperimentsCached => "grid_experiments_cached",
+            Ctr::GridJobRetries => "grid_job_retries",
+            Ctr::GridJobPanics => "grid_job_panics",
+            Ctr::StoreFsckQuarantined => "store_fsck_quarantined",
+            Ctr::StoreFsckSwept => "store_fsck_swept",
+            Ctr::StoreLockTakeovers => "store_lock_takeovers",
+            Ctr::StoreFaultsInjected => "store_faults_injected",
         }
     }
 }
